@@ -1,0 +1,79 @@
+"""Experiment T10 — the ATPG view of the merge/optimize phase.
+
+The paper: the merge procedure "is not far from testing stuck-at-faults on
+comparison gates ... we are more interested in finding redundancies, than
+good test patterns for faults."  This bench quantifies that connection:
+
+* random-pattern fault coverage and the faults only deterministic engines
+  resolve (the analogue of signature filtering before SAT checks);
+* how many of the surviving faults are *redundant*, and how much circuit
+  shrinks when they are tied off — redundancy removal as an optimization
+  engine on quantification-style disjunctions.
+
+Shape claim: on cofactor disjunctions (the quantification workload)
+redundancy removal finds ties precisely where the don't-care optimizer
+simplifies, so sizes after both transformations land close together.
+"""
+
+import pytest
+
+from repro.aig.analysis import cone_size
+from repro.aig.ops import cofactor, or_
+from repro.atpg.fsim import fault_coverage
+from repro.atpg.redundancy import remove_redundancies
+from repro.circuits.combinational import (
+    adder_sum_parity,
+    majority,
+    mux_tree,
+    random_logic,
+)
+
+FAMILIES = {
+    "adder_parity6": lambda: adder_sum_parity(6),
+    "mux_tree3": lambda: mux_tree(3),
+    "majority7": lambda: majority(7),
+    "random_8x60": lambda: random_logic(8, 60, seed=21),
+}
+
+
+@pytest.mark.parametrize("family", list(FAMILIES))
+def test_t10_redundancy_on_cofactor_disjunction(
+    benchmark, record_row, family
+):
+    def run():
+        aig, inputs, root = FAMILIES[family]()
+        var = inputs[0] >> 1
+        disjunction = or_(
+            aig,
+            cofactor(aig, root, var, False),
+            cofactor(aig, root, var, True),
+        )
+        before = cone_size(aig, disjunction)
+        coverage, simulator = fault_coverage(
+            aig, [disjunction], words=4, rounds=2
+        )
+        (tied,), stats = remove_redundancies(aig, [disjunction])
+        after = cone_size(aig, tied)
+        return before, after, coverage, len(simulator.remaining), stats
+
+    before, after, coverage, hard_faults, stats = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    ties = stats.get("ties_applied", 0)
+    benchmark.extra_info.update(
+        {
+            "family": family,
+            "size_before": before,
+            "size_after": after,
+            "random_coverage": round(coverage, 3),
+            "faults_left_for_sat": hard_faults,
+            "redundant_ties": ties,
+        }
+    )
+    record_row(
+        "T10 ATPG redundancy removal",
+        f"{'family':<15}{'before':>8}{'after':>7}{'coverage':>10}"
+        f"{'hard_faults':>12}{'ties':>6}",
+        f"{family:<15}{before:>8}{after:>7}{coverage:>10.2f}"
+        f"{hard_faults:>12}{ties:>6.0f}",
+    )

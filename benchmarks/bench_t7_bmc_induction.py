@@ -1,0 +1,84 @@
+"""Experiment T7 — quantification preprocessing for BMC and induction.
+
+Section 4: "Both these techniques can benefit from reducing the amount of
+primary input variables by quantification as a preprocessing of SAT
+procedures."  Pre-image folding replaces unrolled frames (and their input
+variables) with circuit-quantified targets; we measure frames unrolled,
+CNF variables and wall time, with and without folding.
+"""
+
+import pytest
+
+from repro.circuits import generators as G
+from repro.mc.bmc import bmc
+from repro.mc.induction import k_induction
+
+BMC_DESIGNS = {
+    "bug_at_depth_12": (lambda: G.bug_at_depth(12), 16),
+    "mod_counter_bug_5_24": (lambda: G.mod_counter(5, 24, safe=False), 28),
+}
+
+
+@pytest.mark.parametrize("design", list(BMC_DESIGNS))
+@pytest.mark.parametrize("folds", [0, 2, 4])
+def test_t7_bmc_folding(benchmark, record_row, design, folds):
+    build, depth = BMC_DESIGNS[design]
+
+    def run():
+        return bmc(build(), max_depth=depth, preimage_folds=folds)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.failed
+    benchmark.extra_info.update(
+        {
+            "design": design,
+            "folds": folds,
+            "frames": result.stats.get("frames_unrolled"),
+            "cnf_vars": result.stats.get("cnf_vars"),
+            "cex_depth": result.trace.depth,
+        }
+    )
+    record_row(
+        "T7a BMC with pre-image folding",
+        f"{'design':<22}{'folds':>6}{'frames':>8}{'cnf_vars':>10}"
+        f"{'cex_depth':>10}",
+        f"{design:<22}{folds:>6}"
+        f"{result.stats.get('frames_unrolled'):>8.0f}"
+        f"{result.stats.get('cnf_vars'):>10.0f}{result.trace.depth:>10}",
+    )
+
+
+INDUCTION_DESIGNS = {
+    "mod_counter_5_20": (lambda: G.mod_counter(5, 20), 8),
+    "shift_register_6": (lambda: G.shift_register(6), 6),
+}
+
+
+@pytest.mark.parametrize("design", list(INDUCTION_DESIGNS))
+@pytest.mark.parametrize("folds", [0, 1])
+def test_t7_induction_folding(benchmark, record_row, design, folds):
+    build, max_k = INDUCTION_DESIGNS[design]
+
+    def run():
+        return k_induction(build(), max_k=max_k, preimage_folds=folds)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.proved
+    benchmark.extra_info.update(
+        {
+            "design": design,
+            "folds": folds,
+            "proved_at_k": result.stats.get("proved_at_k"),
+            "base_sat_calls": result.stats.get("base_sat_calls"),
+            "step_sat_calls": result.stats.get("step_sat_calls"),
+        }
+    )
+    record_row(
+        "T7b induction with pre-image folding",
+        f"{'design':<20}{'folds':>6}{'proved_at_k':>12}"
+        f"{'base_calls':>11}{'step_calls':>11}",
+        f"{design:<20}{folds:>6}"
+        f"{result.stats.get('proved_at_k'):>12.0f}"
+        f"{result.stats.get('base_sat_calls'):>11.0f}"
+        f"{result.stats.get('step_sat_calls'):>11.0f}",
+    )

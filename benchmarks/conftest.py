@@ -1,0 +1,37 @@
+"""Benchmark-harness helpers.
+
+Each ``bench_*`` module regenerates one experiment of EXPERIMENTS.md.
+Besides pytest-benchmark's timing columns, every benchmark records its
+experiment-specific metrics (sizes, check counts, iteration counts) in
+``benchmark.extra_info`` and appends a human-readable row to
+``benchmarks/results.txt`` so the tables survive the run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS = pathlib.Path(__file__).parent / "results.txt"
+_seen_headers: set[str] = set()
+
+
+@pytest.fixture
+def record_row():
+    """Append one formatted row to the shared results file."""
+
+    def _record(experiment: str, header: str, row: str) -> None:
+        with _RESULTS.open("a") as handle:
+            if experiment not in _seen_headers:
+                _seen_headers.add(experiment)
+                handle.write(f"\n== {experiment} ==\n{header}\n")
+            handle.write(row + "\n")
+
+    return _record
+
+
+def pytest_sessionstart(session):
+    # Start each benchmark session with a fresh results file.
+    if _RESULTS.exists():
+        _RESULTS.unlink()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no ``wheel`` package, so PEP 660 editable installs are
+unavailable; the presence of this file lets ``pip install -e .`` fall back to
+the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

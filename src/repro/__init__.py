@@ -1,0 +1,26 @@
+"""Circuit-based quantification for unbounded model checking.
+
+A from-scratch reproduction of Cabodi, Crivellari, Nocco, Quer,
+"Circuit Based Quantification: Back to State Set Manipulation within
+Unbounded Model Checking", DATE 2005 — plus every substrate the paper
+relies on (CDCL and circuit SAT solvers, AIG and ROBDD packages, sweeping
+engines, ATPG, benchmark circuits) and the engines it compares against
+(BDD reachability, all-SAT pre-image, BMC, k-induction).
+
+The three entry points most users want:
+
+>>> from repro.circuits import generators
+>>> from repro.mc import verify
+>>> result = verify(generators.mod_counter(4, 10), method="reach_aig")
+>>> result.status
+<Status.PROVED: 'proved'>
+
+* :func:`repro.mc.verify` — one front end over all seven engines;
+* :func:`repro.core.quantify_exists` — the paper's quantification engine
+  on raw AIG edges;
+* the ``repro`` console script — ``repro mc design.bench --property ok``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,70 @@
+"""And-Inverter Graph substrate.
+
+The paper represents every state set as a single-output Boolean circuit over
+an AIG (Kuehlmann et al. [3]).  This package provides the graph itself with
+the semi-canonical structural hashing scheme the merge phase relies on
+(step 1 of Section 2.1), plus the algebra the quantification and traversal
+engines need: cofactoring, composition (for quantification by substitution),
+bit-parallel simulation, Tseitin CNF encoding, cut enumeration and
+truth-table-based rewriting.
+
+Edges ("literals") are plain ints: ``2*node + complement``.  The constant
+FALSE edge is 0 and TRUE is 1.  Managers are append-only; algorithms that
+shrink circuits build replacement cones and call :meth:`Aig.extract` to
+compact.
+"""
+
+from repro.aig.graph import Aig, FALSE, TRUE, edge_node, edge_is_complement, edge_not
+from repro.aig.ops import (
+    and_all,
+    cofactor,
+    compose,
+    equal_edges_syntactic,
+    implies_edge,
+    ite,
+    or_,
+    or_all,
+    support,
+    xor,
+    xnor,
+)
+from repro.aig.cnf import CnfMapper, edge_to_cnf
+from repro.aig.simulate import eval_edge, simulate, truth_table
+from repro.aig.analysis import cone_nodes, cone_size, level_of, structural_stats
+from repro.aig.balance import balance, balance_stats, collect_conjunction
+from repro.aig.aiger_binary import read_aig_binary, write_aig_binary, write_aig_binary_bytes
+
+__all__ = [
+    "Aig",
+    "FALSE",
+    "TRUE",
+    "edge_node",
+    "edge_is_complement",
+    "edge_not",
+    "and_all",
+    "or_",
+    "or_all",
+    "xor",
+    "xnor",
+    "ite",
+    "implies_edge",
+    "cofactor",
+    "compose",
+    "support",
+    "equal_edges_syntactic",
+    "CnfMapper",
+    "edge_to_cnf",
+    "simulate",
+    "eval_edge",
+    "truth_table",
+    "cone_nodes",
+    "cone_size",
+    "level_of",
+    "structural_stats",
+    "balance",
+    "balance_stats",
+    "collect_conjunction",
+    "read_aig_binary",
+    "write_aig_binary",
+    "write_aig_binary_bytes",
+]

@@ -1,0 +1,76 @@
+"""Structural analysis helpers: cone sizes, levels, sharing statistics.
+
+The experiments report circuit sizes before and after quantification;
+every size number in EXPERIMENTS.md comes from these functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.aig.graph import Aig
+
+
+def cone_nodes(aig: Aig, edge: int) -> list[int]:
+    """Topologically ordered nodes in the transitive fanin of an edge."""
+    return aig.cone([edge])
+
+
+def cone_size(aig: Aig, edge: int) -> int:
+    """Number of AND nodes in the cone of an edge (the paper's size metric)."""
+    return sum(1 for node in aig.cone([edge]) if aig.is_and(node))
+
+
+def cone_size_many(aig: Aig, edges: Sequence[int]) -> int:
+    """AND nodes in the union of the cones (counts shared logic once)."""
+    return sum(1 for node in aig.cone(edges) if aig.is_and(node))
+
+
+def level_of(aig: Aig, edge: int) -> int:
+    """Logic depth of an edge."""
+    return aig.level(edge >> 1)
+
+
+def shared_nodes(aig: Aig, a: int, b: int) -> int:
+    """AND nodes common to the cones of two edges.
+
+    The merge phase exists to push this number up: "merge together as many
+    internal nodes of f0 and f1 as possible".
+    """
+    cone_a = {n for n in aig.cone([a]) if aig.is_and(n)}
+    cone_b = {n for n in aig.cone([b]) if aig.is_and(n)}
+    return len(cone_a & cone_b)
+
+
+def sharing_ratio(aig: Aig, a: int, b: int) -> float:
+    """Fraction of the union of the two cones that is shared."""
+    cone_a = {n for n in aig.cone([a]) if aig.is_and(n)}
+    cone_b = {n for n in aig.cone([b]) if aig.is_and(n)}
+    union = cone_a | cone_b
+    if not union:
+        return 1.0
+    return len(cone_a & cone_b) / len(union)
+
+
+def fanout_counts(aig: Aig, roots: Iterable[int]) -> dict[int, int]:
+    """Fanout count of every node within the cones of ``roots``."""
+    counts: dict[int, int] = {}
+    for node in aig.cone(list(roots)):
+        if not aig.is_and(node):
+            continue
+        for fanin in aig.fanins(node):
+            child = fanin >> 1
+            counts[child] = counts.get(child, 0) + 1
+    return counts
+
+
+def structural_stats(aig: Aig, edge: int) -> dict[str, int]:
+    """Compact summary used in logs and benchmark tables."""
+    nodes = aig.cone([edge])
+    ands = [n for n in nodes if aig.is_and(n)]
+    inputs = [n for n in nodes if aig.is_input(n)]
+    return {
+        "ands": len(ands),
+        "inputs": len(inputs),
+        "level": level_of(aig, edge),
+    }

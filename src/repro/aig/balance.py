@@ -1,0 +1,117 @@
+"""AND-tree balancing: depth reduction over conjunction trees.
+
+Iterative quantification chains disjunctions and conjunctions linearly,
+producing skewed trees whose depth grows with every step.  Depth matters
+twice here: simulation and CNF encoding touch every level, and the
+backward SAT-merge order (which probes "the output region" first) degrades
+on deep, narrow cones.
+
+Balancing collects each maximal multi-input AND tree (following
+non-inverted AND edges), deduplicates and sorts its leaves by level, and
+rebuilds the conjunction as a lowest-depth tree — the standard algebraic
+balance pass of AIG packages.  The function is preserved exactly;
+the node count never increases on tree-shaped regions (shared leaves can
+only merge further under hashing).
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import FALSE, TRUE, Aig, edge_not
+from repro.util.stats import StatsBag
+
+
+def collect_conjunction(aig: Aig, edge: int) -> list[int]:
+    """The leaves of the maximal AND tree rooted at ``edge``.
+
+    Follows positive (non-inverted) AND edges only — an inverted edge is
+    an OR boundary and stays a leaf.  Returns the leaf edges left to
+    right; duplicates are removed, and a leaf pair ``x, NOT x`` collapses
+    the whole conjunction to constant FALSE (signalled by ``[FALSE]``).
+    """
+    if edge & 1 or not aig.is_and(edge >> 1):
+        return [edge]
+    leaves: list[int] = []
+    seen: set[int] = set()
+    stack = [edge]
+    while stack:
+        current = stack.pop()
+        node = current >> 1
+        if not (current & 1) and aig.is_and(node):
+            f0, f1 = aig.fanins(node)
+            stack.append(f0)
+            stack.append(f1)
+            continue
+        if edge_not(current) in seen:
+            return [FALSE]
+        if current == TRUE or current in seen:
+            continue
+        if current == FALSE:
+            return [FALSE]
+        seen.add(current)
+        leaves.append(current)
+    return leaves if leaves else [TRUE]
+
+
+def balance(aig: Aig, edge: int, cache: dict[int, int] | None = None) -> int:
+    """Rebuild the cone of ``edge`` with every AND tree depth-balanced.
+
+    Returns a functionally identical edge in the same manager.  ``cache``
+    (old node -> balanced edge) may be shared across calls so common
+    logic balances once.
+    """
+    if cache is None:
+        cache = {}
+    root = edge >> 1
+    stack = [root]
+    while stack:
+        node = stack[-1]
+        if node in cache or not aig.is_and(node):
+            cache.setdefault(node, 2 * node)
+            stack.pop()
+            continue
+        # Balance the *maximal* tree at this node; its leaves are the
+        # recursion frontier.
+        leaves = collect_conjunction(aig, 2 * node)
+        pending = [
+            leaf >> 1 for leaf in leaves
+            if (leaf >> 1) not in cache and aig.is_and(leaf >> 1)
+        ]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        balanced_leaves = [
+            cache.get(leaf >> 1, 2 * (leaf >> 1)) ^ (leaf & 1)
+            for leaf in leaves
+        ]
+        cache[node] = _balanced_and(aig, balanced_leaves)
+    return cache[root] ^ (edge & 1)
+
+
+def _balanced_and(aig: Aig, leaves: list[int]) -> int:
+    """Conjoin leaves pairing the shallowest first (Huffman-style)."""
+    if not leaves:
+        return TRUE
+    work = sorted(leaves, key=lambda e: aig.level(e >> 1))
+    while len(work) > 1:
+        a = work.pop(0)
+        b = work.pop(0)
+        merged = aig.and_(a, b)
+        # Insert keeping the by-level order (list is short in practice).
+        level = aig.level(merged >> 1)
+        index = 0
+        while index < len(work) and aig.level(work[index] >> 1) <= level:
+            index += 1
+        work.insert(index, merged)
+    return work[0]
+
+
+def balance_stats(aig: Aig, edge: int) -> tuple[int, StatsBag]:
+    """Balance plus a before/after size and depth report."""
+    stats = StatsBag()
+    stats.set("size_before", aig.cone_and_count(edge))
+    stats.set("depth_before", aig.level(edge >> 1))
+    result = balance(aig, edge)
+    stats.set("size_after", aig.cone_and_count(result))
+    stats.set("depth_after", aig.level(result >> 1))
+    return result, stats

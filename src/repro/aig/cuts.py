@@ -1,0 +1,114 @@
+"""K-feasible cut enumeration.
+
+Cuts serve two consumers:
+
+* BDD sweeping builds BDDs over cut frontiers when whole-cone BDDs exceed
+  the node budget (Kuehlmann-Krohm "cuts and heaps" [4]);
+* the rewriting pass of the optimization phase resynthesizes the function
+  of small cuts from their truth tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aig.graph import Aig
+
+Cut = frozenset[int]
+
+
+def enumerate_cuts(
+    aig: Aig,
+    roots: Sequence[int],
+    k: int = 4,
+    max_cuts_per_node: int = 8,
+) -> dict[int, list[Cut]]:
+    """Enumerate up to ``max_cuts_per_node`` k-feasible cuts per node.
+
+    Returns a map from each node in the cones of ``roots`` to its cut list.
+    Every node's trivial cut ``{node}`` is included.  Leaves (inputs) only
+    get the trivial cut.
+    """
+    cuts: dict[int, list[Cut]] = {0: [frozenset()]}
+    for node in aig.cone(list(roots)):
+        trivial = frozenset((node,))
+        if aig.is_input(node):
+            cuts[node] = [trivial]
+            continue
+        f0, f1 = aig.fanins(node)
+        left = cuts.get(f0 >> 1, [frozenset((f0 >> 1,))])
+        right = cuts.get(f1 >> 1, [frozenset((f1 >> 1,))])
+        merged: list[Cut] = [trivial]
+        seen: set[Cut] = {trivial}
+        for cut_a in left:
+            for cut_b in right:
+                union = cut_a | cut_b
+                if len(union) > k or union in seen:
+                    continue
+                # Drop dominated cuts (supersets of an existing cut).
+                if any(existing <= union for existing in merged):
+                    continue
+                merged = [c for c in merged if not union <= c]
+                merged.append(union)
+                seen.add(union)
+                if len(merged) >= max_cuts_per_node:
+                    break
+            if len(merged) >= max_cuts_per_node:
+                break
+        cuts[node] = merged
+    return cuts
+
+
+def cut_cone(aig: Aig, node: int, cut: Cut) -> list[int]:
+    """Nodes strictly between ``cut`` leaves and ``node`` (inclusive of node).
+
+    Topologically ordered; empty if ``node`` is itself a leaf of the cut.
+    """
+    if node in cut:
+        return []
+    order: list[int] = []
+    seen: set[int] = set(cut)
+    stack: list[tuple[int, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if expanded:
+            order.append(current)
+            continue
+        if current in seen or current == 0:
+            continue
+        seen.add(current)
+        stack.append((current, True))
+        if aig.is_and(current):
+            f0, f1 = aig.fanins(current)
+            stack.append((f0 >> 1, False))
+            stack.append((f1 >> 1, False))
+    return order
+
+
+def cut_truth_table(aig: Aig, node: int, cut: Cut) -> tuple[int, list[int]]:
+    """Truth table of ``node`` over the (ordered) cut leaves.
+
+    Returns ``(mask, leaf_order)`` with bit ``i`` of ``mask`` giving the
+    node value when leaf ``k`` takes bit ``k`` of ``i``.
+    """
+    leaves = sorted(cut)
+    n = len(leaves)
+    rows = 1 << n
+    values: dict[int, int] = {0: 0}
+    for position, leaf in enumerate(leaves):
+        pattern = 0
+        for row in range(rows):
+            if (row >> position) & 1:
+                pattern |= 1 << row
+        values[leaf] = pattern
+    full = (1 << rows) - 1
+    for inner in cut_cone(aig, node, cut):
+        f0, f1 = aig.fanins(inner)
+        v0 = values[f0 >> 1]
+        if f0 & 1:
+            v0 ^= full
+        v1 = values[f1 >> 1]
+        if f1 & 1:
+            v1 ^= full
+        values[inner] = v0 & v1
+    return values[node] & full, leaves

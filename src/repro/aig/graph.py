@@ -1,0 +1,284 @@
+"""The And-Inverter Graph manager.
+
+An AIG node is either the constant node, a primary input, or a two-input
+AND.  Inversion lives on edges: an edge is ``2*node + complement``.  The
+manager hash-conses AND nodes — identical ``(fanin0, fanin1)`` pairs map to
+one node — which is the "AIG semi-canonicity and hashing scheme" the paper
+exploits "to early detect functionally equivalent map points".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import AigError
+
+FALSE = 0
+TRUE = 1
+
+_CONST_NODE = 0
+
+
+def edge_node(edge: int) -> int:
+    """The node an edge points to."""
+    return edge >> 1
+
+
+def edge_is_complement(edge: int) -> bool:
+    """Whether the edge inverts its node."""
+    return bool(edge & 1)
+
+
+def edge_not(edge: int) -> int:
+    """Negate an edge (invert the complement bit)."""
+    return edge ^ 1
+
+
+class Aig:
+    """Append-only hash-consed AIG manager.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> f = aig.and_(a, b)
+    >>> g = aig.and_(b, a)
+    >>> f == g                     # structural hashing
+    True
+    >>> aig.and_(a, edge_not(a))   # x AND NOT x == FALSE
+    0
+    """
+
+    def __init__(self) -> None:
+        # Node 0 is the constant-FALSE node.
+        self._fanin0: list[int] = [-1]
+        self._fanin1: list[int] = [-1]
+        self._levels: list[int] = [0]
+        self._inputs: list[int] = []
+        self._input_names: dict[int, str] = {}
+        self._strash: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_input(self, name: str | None = None) -> int:
+        """Create a primary input node; returns its positive edge."""
+        node = len(self._fanin0)
+        self._fanin0.append(-1)
+        self._fanin1.append(-1)
+        self._levels.append(0)
+        self._inputs.append(node)
+        if name is not None:
+            self._input_names[node] = name
+        return 2 * node
+
+    def add_inputs(self, count: int, prefix: str = "x") -> list[int]:
+        """Create ``count`` named inputs ``prefix0 .. prefixN-1``."""
+        if count < 0:
+            raise AigError("count must be non-negative")
+        return [self.add_input(f"{prefix}{i}") for i in range(count)]
+
+    def and_(self, a: int, b: int) -> int:
+        """Return the edge for ``a AND b``, with simplification and hashing."""
+        self._check_edge(a)
+        self._check_edge(b)
+        # Constant and trivial-structure simplifications.
+        if a == FALSE or b == FALSE or a == edge_not(b):
+            return FALSE
+        if a == TRUE:
+            return b
+        if b == TRUE or a == b:
+            return a
+        if a > b:
+            a, b = b, a
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is not None:
+            return 2 * node
+        node = len(self._fanin0)
+        self._fanin0.append(a)
+        self._fanin1.append(b)
+        self._levels.append(
+            1 + max(self._levels[a >> 1], self._levels[b >> 1])
+        )
+        self._strash[key] = node
+        return 2 * node
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
+    def _check_edge(self, edge: int) -> None:
+        if edge < 0 or (edge >> 1) >= len(self._fanin0):
+            raise AigError(f"edge {edge} does not belong to this AIG")
+
+    def is_input(self, node: int) -> bool:
+        return self._fanin0[node] == -1 and node != _CONST_NODE
+
+    def is_and(self, node: int) -> bool:
+        return self._fanin0[node] != -1
+
+    def is_const(self, node: int) -> bool:
+        return node == _CONST_NODE
+
+    def fanins(self, node: int) -> tuple[int, int]:
+        """The two fanin edges of an AND node."""
+        if not self.is_and(node):
+            raise AigError(f"node {node} is not an AND node")
+        return self._fanin0[node], self._fanin1[node]
+
+    def level(self, node: int) -> int:
+        return self._levels[node]
+
+    @property
+    def inputs(self) -> list[int]:
+        """Input nodes in creation order."""
+        return list(self._inputs)
+
+    @property
+    def input_edges(self) -> list[int]:
+        return [2 * node for node in self._inputs]
+
+    def input_name(self, node: int) -> str:
+        return self._input_names.get(node, f"i{node}")
+
+    def name_of(self, node: int) -> str | None:
+        return self._input_names.get(node)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes including constant and inputs."""
+        return len(self._fanin0)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self._fanin0) - 1 - len(self._inputs)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._inputs)
+
+    def nodes(self) -> Iterator[int]:
+        """All nodes in topological (creation) order."""
+        return iter(range(len(self._fanin0)))
+
+    def and_nodes(self) -> Iterator[int]:
+        for node in range(len(self._fanin0)):
+            if self.is_and(node):
+                yield node
+
+    # ------------------------------------------------------------------ #
+    # Cone extraction / compaction
+    # ------------------------------------------------------------------ #
+
+    def cone(self, edges: Iterable[int]) -> list[int]:
+        """Nodes in the transitive fanin of ``edges``, topologically sorted.
+
+        Includes input nodes of the cone; excludes the constant node.
+        """
+        roots = [edge >> 1 for edge in edges]
+        seen: set[int] = set()
+        order: list[int] = []
+        stack: list[tuple[int, bool]] = [(n, False) for n in roots]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if node in seen or node == _CONST_NODE:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            if self.is_and(node):
+                stack.append((self._fanin0[node] >> 1, False))
+                stack.append((self._fanin1[node] >> 1, False))
+        return order
+
+    def cone_and_count(self, edge: int) -> int:
+        """Number of AND nodes in the cone of a single edge."""
+        return sum(1 for node in self.cone([edge]) if self.is_and(node))
+
+    def extract(
+        self, edges: Iterable[int], keep_all_inputs: bool = False
+    ) -> tuple["Aig", list[int], dict[int, int]]:
+        """Rebuild only the logic reachable from ``edges`` in a fresh manager.
+
+        Returns ``(new_aig, new_edges, node_map)`` where ``node_map`` maps
+        old node ids to new *edges*.  Input nodes keep their names.  With
+        ``keep_all_inputs`` every input of this manager is recreated (in
+        order) even if unreferenced, so input indices stay aligned.
+        """
+        edges = list(edges)
+        new_aig = Aig()
+        node_map: dict[int, int] = {_CONST_NODE: FALSE}
+        if keep_all_inputs:
+            for node in self._inputs:
+                node_map[node] = new_aig.add_input(self._input_names.get(node))
+        for node in self.cone(edges):
+            if node in node_map:
+                continue
+            if self.is_input(node):
+                node_map[node] = new_aig.add_input(self._input_names.get(node))
+            else:
+                f0, f1 = self._fanin0[node], self._fanin1[node]
+                a = node_map[f0 >> 1] ^ (f0 & 1)
+                b = node_map[f1 >> 1] ^ (f1 & 1)
+                node_map[node] = new_aig.and_(a, b)
+        new_edges = [node_map[e >> 1] ^ (e & 1) for e in edges]
+        return new_aig, new_edges, node_map
+
+    # ------------------------------------------------------------------ #
+    # Rebuilding with a substitution map (shared by cofactor/compose/sweep)
+    # ------------------------------------------------------------------ #
+
+    def rebuild(
+        self,
+        edge: int,
+        leaf_map: Mapping[int, int],
+        cache: dict[int, int] | None = None,
+    ) -> int:
+        """Re-express ``edge`` with some nodes replaced by other edges.
+
+        ``leaf_map`` maps node ids to replacement edges; every node not in
+        the map is rebuilt from its (rebuilt) fanins.  The result lives in
+        *this* manager.  ``cache`` allows sharing work across calls.
+        """
+        self._check_edge(edge)
+        if cache is None:
+            cache = {}
+        root = edge >> 1
+        stack = [root]
+        fanin0, fanin1 = self._fanin0, self._fanin1
+        while stack:
+            node = stack[-1]
+            if node in cache:
+                stack.pop()
+                continue
+            if node in leaf_map:
+                cache[node] = leaf_map[node]
+                stack.pop()
+                continue
+            if not self.is_and(node):
+                cache[node] = 2 * node
+                stack.pop()
+                continue
+            f0, f1 = fanin0[node], fanin1[node]
+            n0, n1 = f0 >> 1, f1 >> 1
+            pending = False
+            if n0 not in cache:
+                stack.append(n0)
+                pending = True
+            if n1 not in cache:
+                stack.append(n1)
+                pending = True
+            if pending:
+                continue
+            stack.pop()
+            a = cache[n0] ^ (f0 & 1)
+            b = cache[n1] ^ (f1 & 1)
+            cache[node] = self.and_(a, b)
+        return cache[root] ^ (edge & 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Aig(inputs={self.num_inputs}, ands={self.num_ands})"
+        )

@@ -1,0 +1,138 @@
+"""Bit-parallel AIG simulation.
+
+Simulation drives the sweeping engines: random patterns partition nodes into
+candidate-equivalence classes, and every SAT counterexample is fed back as
+one more pattern ("any SAT solver solution thus potentially rules-out
+several non matching couples").  Vectors are numpy ``uint64`` arrays, so one
+word simulates 64 patterns at once.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.errors import AigError
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def simulate(
+    aig: Aig,
+    input_vectors: Mapping[int, np.ndarray],
+    targets: Sequence[int],
+) -> dict[int, np.ndarray]:
+    """Simulate the cones of ``targets`` under the given input vectors.
+
+    ``input_vectors`` maps input *nodes* to uint64 arrays (all of one equal
+    length).  Returns a map from each target *edge* to its output vector.
+    Inputs missing from the map default to constant zero.
+    """
+    words = None
+    for vector in input_vectors.values():
+        if words is None:
+            words = len(vector)
+        elif len(vector) != words:
+            raise AigError("input vectors must all have the same length")
+    if words is None:
+        words = 1
+    zeros = np.zeros(words, dtype=np.uint64)
+    node_values: dict[int, np.ndarray] = {0: zeros}
+    for node in aig.cone(targets):
+        if aig.is_input(node):
+            node_values[node] = np.asarray(
+                input_vectors.get(node, zeros), dtype=np.uint64
+            )
+        else:
+            f0, f1 = aig.fanins(node)
+            v0 = node_values[f0 >> 1]
+            if f0 & 1:
+                v0 = ~v0
+            v1 = node_values[f1 >> 1]
+            if f1 & 1:
+                v1 = ~v1
+            node_values[node] = v0 & v1
+    result: dict[int, np.ndarray] = {}
+    for edge in targets:
+        value = node_values.get(edge >> 1)
+        if value is None:  # target collapses to a constant edge
+            value = zeros
+        result[edge] = ~value if edge & 1 else value.copy()
+    return result
+
+
+def simulate_nodes(
+    aig: Aig,
+    input_vectors: Mapping[int, np.ndarray],
+    targets: Sequence[int],
+) -> dict[int, np.ndarray]:
+    """Like :func:`simulate` but returns *node* vectors for whole cones.
+
+    The sweeping engines need per-node signatures, not just root values.
+    """
+    words = max((len(v) for v in input_vectors.values()), default=1)
+    zeros = np.zeros(words, dtype=np.uint64)
+    node_values: dict[int, np.ndarray] = {0: zeros}
+    for node in aig.cone(targets):
+        if aig.is_input(node):
+            node_values[node] = np.asarray(
+                input_vectors.get(node, zeros), dtype=np.uint64
+            )
+        else:
+            f0, f1 = aig.fanins(node)
+            v0 = node_values[f0 >> 1]
+            if f0 & 1:
+                v0 = ~v0
+            v1 = node_values[f1 >> 1]
+            if f1 & 1:
+                v1 = ~v1
+            node_values[node] = v0 & v1
+    return node_values
+
+
+def random_input_vectors(
+    aig: Aig, words: int, seed: int = 0
+) -> dict[int, np.ndarray]:
+    """Uniform random simulation vectors for every input of the manager."""
+    rng = np.random.default_rng(seed)
+    return {
+        node: rng.integers(0, 2**64, size=words, dtype=np.uint64)
+        for node in aig.inputs
+    }
+
+
+def eval_edge(aig: Aig, edge: int, assignment: Mapping[int, bool]) -> bool:
+    """Evaluate one edge under a Boolean input assignment (by node id)."""
+    vectors = {
+        node: np.array([_ALL_ONES if value else 0], dtype=np.uint64)
+        for node, value in assignment.items()
+    }
+    result = simulate(aig, vectors, [edge])[edge]
+    return bool(result[0] & np.uint64(1))
+
+
+def truth_table(aig: Aig, edge: int, input_order: Sequence[int]) -> int:
+    """Exhaustive truth table of ``edge`` over ``input_order`` as a bitmask.
+
+    Bit ``i`` of the result is the function value when input ``k`` takes
+    bit ``k`` of ``i``.  Limited to 16 inputs (65536 rows).
+    """
+    n = len(input_order)
+    if n > 16:
+        raise AigError("truth_table supports at most 16 inputs")
+    rows = 1 << n
+    words = (rows + 63) // 64
+    vectors: dict[int, np.ndarray] = {}
+    for k, node in enumerate(input_order):
+        pattern = np.zeros(words, dtype=np.uint64)
+        for row in range(rows):
+            if (row >> k) & 1:
+                pattern[row // 64] |= np.uint64(1) << np.uint64(row % 64)
+        vectors[node] = pattern
+    out = simulate(aig, vectors, [edge])[edge]
+    mask = 0
+    for w in range(words):
+        mask |= int(out[w]) << (64 * w)
+    return mask & ((1 << rows) - 1)

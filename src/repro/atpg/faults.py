@@ -1,0 +1,120 @@
+"""The single stuck-at fault model over AIG cones.
+
+Fault sites are the *output* of any node (input or AND) and the two input
+*pins* of every AND gate.  Pin faults apply to the value the gate consumes,
+i.e. after the fanin edge's complement attribute has been applied — this
+matches the textbook gate-level model where an inverter-free two-input AND
+network carries faults on its wires.
+
+Collapsing follows the classic rules for AND gates:
+
+* *equivalence*: any input pin stuck-at-0 produces the same faulty function
+  as the output stuck-at-0 — one representative (the output s-a-0) is kept;
+* *dominance*: every test for an input pin stuck-at-1 also detects the
+  output stuck-at-1, so the output s-a-1 is dropped in favour of the pin
+  faults.
+
+Primary-input outputs keep both polarities (they are the stems the collapsed
+classes anchor to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.aig.graph import Aig
+from repro.errors import AigError
+
+#: Sentinel pin index meaning "the node's output" rather than a gate input.
+OUTPUT = -1
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One single stuck-at fault.
+
+    ``node`` is the AIG node carrying the fault; ``pin`` is :data:`OUTPUT`
+    for an output fault or 0/1 for the corresponding AND-gate input pin;
+    ``stuck_at`` is the value the faulty wire is tied to.
+    """
+
+    node: int
+    pin: int
+    stuck_at: bool
+
+    def describe(self, aig: Aig | None = None) -> str:
+        """Human-readable site description (``n17/pin0 s-a-1`` style)."""
+        if aig is not None and aig.is_input(self.node):
+            site = aig.input_name(self.node)
+        else:
+            site = f"n{self.node}"
+        where = "out" if self.pin == OUTPUT else f"pin{self.pin}"
+        return f"{site}/{where} s-a-{int(self.stuck_at)}"
+
+
+def _check_fault(aig: Aig, fault: Fault) -> None:
+    if fault.node <= 0 or fault.node >= aig.num_nodes:
+        raise AigError(f"fault node {fault.node} does not exist")
+    if fault.pin == OUTPUT:
+        return
+    if fault.pin not in (0, 1):
+        raise AigError(f"invalid pin {fault.pin}")
+    if not aig.is_and(fault.node):
+        raise AigError(f"pin fault on non-AND node {fault.node}")
+
+
+def full_fault_list(aig: Aig, roots: Sequence[int]) -> list[Fault]:
+    """Every stuck-at fault in the cones of ``roots`` (uncollapsed).
+
+    Output faults on every node plus pin faults on every AND gate: a cone
+    with ``i`` inputs and ``a`` AND gates yields ``2*(i + a) + 4*a`` faults.
+    """
+    faults: list[Fault] = []
+    for node in aig.cone(roots):
+        for value in (False, True):
+            faults.append(Fault(node, OUTPUT, value))
+        if aig.is_and(node):
+            for pin in (0, 1):
+                for value in (False, True):
+                    faults.append(Fault(node, pin, value))
+    return faults
+
+
+def collapse_faults(aig: Aig, faults: Iterable[Fault]) -> list[Fault]:
+    """Equivalence + dominance collapsing of a fault list.
+
+    For every AND gate present in the list:
+
+    * pin s-a-0 faults collapse into the gate's output s-a-0 (equivalence);
+    * the output s-a-1 is dropped when both pin s-a-1 faults are present
+      (dominance).
+
+    Faults on nodes with no gate context (inputs) are kept untouched.  The
+    result is deterministic and sorted.
+    """
+    fault_set = set(faults)
+    collapsed: set[Fault] = set()
+    for fault in fault_set:
+        _check_fault(aig, fault)
+        if fault.pin != OUTPUT and fault.stuck_at is False:
+            # Equivalent to the output s-a-0; keep the representative.
+            collapsed.add(Fault(fault.node, OUTPUT, False))
+            continue
+        if (
+            fault.pin == OUTPUT
+            and fault.stuck_at is True
+            and aig.is_and(fault.node)
+            and Fault(fault.node, 0, True) in fault_set
+            and Fault(fault.node, 1, True) in fault_set
+        ):
+            # Dominated by either pin s-a-1; drop it.
+            continue
+        collapsed.add(fault)
+    return sorted(collapsed)
+
+
+def collapse_ratio(aig: Aig, roots: Sequence[int]) -> tuple[int, int]:
+    """(full, collapsed) fault counts for the cones of ``roots``."""
+    full = full_fault_list(aig, roots)
+    return len(full), len(collapse_faults(aig, full))

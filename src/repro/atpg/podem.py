@@ -1,0 +1,279 @@
+"""PODEM test generation on AIG cones.
+
+PODEM (path-oriented decision making) searches over primary-input
+assignments only: an *objective* (some line must take some value) is
+backtraced through the AND/INV structure to a primary input, the input is
+assigned, and a five-valued composite simulation (good value, faulty value,
+each in {0, 1, X}) checks whether the fault effect has reached a root.
+Conflicting or dead-end assignments are undone by flipping the most recent
+input decision.
+
+The search is complete: when the backtrack budget is not exhausted, a
+``redundant`` verdict is a proof of untestability — which is exactly the
+paper's angle on ATPG ("we are more interested in finding redundancies,
+than good test patterns for faults").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.aig.graph import Aig
+from repro.atpg.faults import OUTPUT, Fault, _check_fault
+from repro.util.stats import StatsBag
+
+
+class PodemVerdict(enum.Enum):
+    """Outcome of one PODEM run."""
+
+    TEST_FOUND = "test"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    """Verdict plus the detecting pattern when one exists."""
+
+    verdict: PodemVerdict
+    pattern: dict[int, bool] | None = None
+
+    @property
+    def found(self) -> bool:
+        return self.verdict is PodemVerdict.TEST_FOUND
+
+
+class _Composite:
+    """Per-node (good, faulty) three-valued pair; None encodes X."""
+
+    __slots__ = ("good", "faulty")
+
+    def __init__(self) -> None:
+        self.good: bool | None = None
+        self.faulty: bool | None = None
+
+    @property
+    def is_d(self) -> bool:
+        """Fault effect present: both definite and different."""
+        return (
+            self.good is not None
+            and self.faulty is not None
+            and self.good != self.faulty
+        )
+
+
+def _and3(a: bool | None, b: bool | None) -> bool | None:
+    """Three-valued AND (None is X)."""
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return None
+
+
+def _apply_sign(value: bool | None, edge: int) -> bool | None:
+    if value is None:
+        return None
+    return value ^ bool(edge & 1)
+
+
+class PodemGenerator:
+    """PODEM search for one AIG manager and a fixed set of target roots."""
+
+    def __init__(
+        self,
+        aig: Aig,
+        roots: Sequence[int],
+        backtrack_limit: int = 10_000,
+    ) -> None:
+        self.aig = aig
+        self.roots = list(roots)
+        self.backtrack_limit = backtrack_limit
+        self.stats = StatsBag()
+        self._cone = aig.cone(self.roots)
+        self._cone_set = set(self._cone)
+        self._inputs = [n for n in self._cone if aig.is_input(n)]
+
+    # ------------------------------------------------------------------ #
+    # Composite simulation
+    # ------------------------------------------------------------------ #
+
+    def _simulate(
+        self, fault: Fault, assignment: dict[int, bool]
+    ) -> dict[int, _Composite]:
+        """Five-valued simulation of the whole cone under the assignment."""
+        values: dict[int, _Composite] = {}
+        zero = _Composite()
+        zero.good = False
+        zero.faulty = False
+        values[0] = zero
+        for node in self._cone:
+            composite = _Composite()
+            if self.aig.is_input(node):
+                composite.good = assignment.get(node)
+                composite.faulty = composite.good
+            else:
+                f0, f1 = self.aig.fanins(node)
+                g0 = _apply_sign(values[f0 >> 1].good, f0)
+                g1 = _apply_sign(values[f1 >> 1].good, f1)
+                composite.good = _and3(g0, g1)
+                b0 = _apply_sign(values[f0 >> 1].faulty, f0)
+                b1 = _apply_sign(values[f1 >> 1].faulty, f1)
+                if fault.node == node and fault.pin == 0:
+                    b0 = fault.stuck_at
+                if fault.node == node and fault.pin == 1:
+                    b1 = fault.stuck_at
+                composite.faulty = _and3(b0, b1)
+            if fault.node == node and fault.pin == OUTPUT:
+                composite.faulty = fault.stuck_at
+            values[node] = composite
+        return values
+
+    def _fault_detected(self, values: dict[int, _Composite]) -> bool:
+        for root in self.roots:
+            composite = values.get(root >> 1)
+            if composite is not None and composite.is_d:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Objectives
+    # ------------------------------------------------------------------ #
+
+    def _activation_value(self, fault: Fault) -> tuple[int, bool]:
+        """(node, good value) required to excite the fault.
+
+        For an output fault the node itself must carry the opposite of the
+        stuck value.  For a pin fault the *consumed* fanin value must be
+        opposite, which translates back through the edge's sign.
+        """
+        if fault.pin == OUTPUT:
+            return fault.node, not fault.stuck_at
+        f0, f1 = self.aig.fanins(fault.node)
+        edge = f0 if fault.pin == 0 else f1
+        consumed = not fault.stuck_at
+        return edge >> 1, consumed ^ bool(edge & 1)
+
+    def _objective(
+        self, fault: Fault, values: dict[int, _Composite]
+    ) -> tuple[int, bool] | None:
+        """Next (node, value) goal, or None when no progress is possible."""
+        site, needed = self._activation_value(fault)
+        composite = values[site]
+        if composite.good is None:
+            return site, needed
+        if composite.good != needed:
+            return None  # activation contradicted: dead end
+        # For a pin fault the effect is born *inside* the faulty gate: the
+        # gate output only becomes D once the other pin consumes 1.
+        if fault.pin != OUTPUT and not values[fault.node].is_d:
+            f0, f1 = self.aig.fanins(fault.node)
+            other = f1 if fault.pin == 0 else f0
+            other_composite = values[other >> 1]
+            if other_composite.good is None:
+                return other >> 1, True ^ bool(other & 1)
+            if _apply_sign(other_composite.good, other) is not True:
+                return None  # side input masks the fault: dead end
+        # Fault active: drive it towards a root through the D-frontier —
+        # an AND gate whose output is X in at least one of the two
+        # machines while some consumed fanin carries the fault effect.
+        for node in self._cone:
+            if not self.aig.is_and(node):
+                continue
+            out = values[node]
+            if out.good is not None and out.faulty is not None:
+                continue
+            f0, f1 = self.aig.fanins(node)
+            for this, other in ((f0, f1), (f1, f0)):
+                if not values[this >> 1].is_d:
+                    continue
+                other_composite = values[other >> 1]
+                if other_composite.good is None:
+                    # Set the side input to non-controlling (consumed 1).
+                    return other >> 1, True ^ bool(other & 1)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Backtrace
+    # ------------------------------------------------------------------ #
+
+    def _backtrace(
+        self, node: int, value: bool, values: dict[int, _Composite]
+    ) -> tuple[int, bool]:
+        """Walk an objective back to an unassigned primary input."""
+        while not self.aig.is_input(node):
+            f0, f1 = self.aig.fanins(node)
+            if value:
+                # AND output 1 needs both consumed fanins 1: chase an X.
+                chosen = f0 if values[f0 >> 1].good is None else f1
+                value = True ^ bool(chosen & 1)
+            else:
+                # AND output 0 needs one consumed-0 fanin: pick an X one,
+                # preferring the shallower cone (easier objective).
+                candidates = [
+                    edge for edge in (f0, f1)
+                    if values[edge >> 1].good is None
+                ]
+                chosen = min(
+                    candidates, key=lambda e: self.aig.level(e >> 1)
+                )
+                value = False ^ bool(chosen & 1)
+            node = chosen >> 1
+        return node, value
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def generate(self, fault: Fault) -> PodemResult:
+        """Find a test for ``fault``, prove it redundant, or abort."""
+        _check_fault(self.aig, fault)
+        if fault.node not in self._cone_set:
+            # Fault outside every target cone can never be observed.
+            return PodemResult(PodemVerdict.REDUNDANT)
+        self.stats.incr("podem_runs")
+        assignment: dict[int, bool] = {}
+        # Decision stack: (input node, value, flipped already?).
+        decisions: list[tuple[int, bool, bool]] = []
+        backtracks = 0
+        values = self._simulate(fault, assignment)
+        while True:
+            if self._fault_detected(values):
+                self.stats.incr("tests_found")
+                return PodemResult(
+                    PodemVerdict.TEST_FOUND, self._complete(assignment)
+                )
+            objective = self._objective(fault, values)
+            if objective is not None and values[objective[0]].good is None:
+                node, value = self._backtrace(*objective, values)
+                assignment[node] = value
+                decisions.append((node, value, False))
+                self.stats.incr("decisions")
+            else:
+                # Dead end: activation contradicted or D-frontier empty.
+                flipped = False
+                while decisions:
+                    node, value, tried = decisions.pop()
+                    del assignment[node]
+                    if not tried:
+                        backtracks += 1
+                        self.stats.incr("backtracks")
+                        if backtracks > self.backtrack_limit:
+                            self.stats.incr("aborts")
+                            return PodemResult(PodemVerdict.ABORTED)
+                        assignment[node] = not value
+                        decisions.append((node, not value, True))
+                        flipped = True
+                        break
+                if not flipped:
+                    self.stats.incr("redundant_found")
+                    return PodemResult(PodemVerdict.REDUNDANT)
+            values = self._simulate(fault, assignment)
+
+    def _complete(self, assignment: dict[int, bool]) -> dict[int, bool]:
+        """Fill don't-care inputs with 0 so the pattern is total."""
+        return {
+            node: assignment.get(node, False) for node in self._inputs
+        }

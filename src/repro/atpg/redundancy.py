@@ -1,0 +1,85 @@
+"""Redundancy removal: the synthesis transformation behind the fault view.
+
+An untestable stuck-at fault means the circuit's function does not change
+when the faulty wire is tied to its stuck value — so the tie is a valid,
+size-reducing rewrite.  This is precisely why the paper cares about the
+ATPG connection: "as our main goal is finding merge points, we are more
+interested in finding redundancies, than good test patterns for faults."
+
+``remove_redundancies`` iterates identify-and-tie rounds until no
+redundant fault remains (or the round limit is hit): tying one wire can
+expose new redundancies elsewhere, which is why a single pass is not
+enough — the classic redundancy-removal fixpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.analysis import cone_size_many
+from repro.atpg.faults import Fault, collapse_faults, full_fault_list
+from repro.atpg.inject import inject_fault
+from repro.atpg.satgen import SatTestGenerator
+from repro.util.stats import StatsBag
+
+
+def find_redundant_faults(
+    aig: Aig,
+    roots: Sequence[int],
+    conflict_budget: int | None = 20_000,
+    faults: Sequence[Fault] | None = None,
+) -> list[Fault]:
+    """All provably untestable faults of the cones of ``roots``.
+
+    Faults whose check exhausts the budget are *not* reported (they might
+    be testable), keeping the transformation sound.
+    """
+    if faults is None:
+        faults = collapse_faults(aig, full_fault_list(aig, roots))
+    generator = SatTestGenerator(aig, roots, conflict_budget)
+    redundant: list[Fault] = []
+    for fault in faults:
+        testable, _ = generator.generate(fault)
+        if testable is False:
+            redundant.append(fault)
+    return redundant
+
+
+def remove_redundancies(
+    aig: Aig,
+    roots: Sequence[int],
+    conflict_budget: int | None = 20_000,
+    max_rounds: int = 4,
+) -> tuple[list[int], StatsBag]:
+    """Tie every redundant fault site to its stuck value, to fixpoint.
+
+    Returns ``(new_roots, stats)``; the rewritten edges live in the same
+    manager and are functionally equal to the originals.  Stats report the
+    ties applied and the node count before/after.
+    """
+    stats = StatsBag()
+    current = list(roots)
+    stats.set("size_before", cone_size_many(aig, current))
+    for _ in range(max_rounds):
+        redundant = find_redundant_faults(aig, current, conflict_budget)
+        if not redundant:
+            break
+        stats.incr("rounds")
+        applied_this_round = 0
+        for fault in redundant:
+            # Re-verify against the *current* roots: earlier ties this
+            # round may have removed the site or changed its context.
+            candidate = inject_fault(aig, current, fault)
+            if candidate == current:
+                continue
+            generator = SatTestGenerator(aig, current, conflict_budget)
+            testable, _ = generator.generate(fault)
+            if testable is False:
+                current = candidate
+                applied_this_round += 1
+                stats.incr("ties_applied")
+        if applied_this_round == 0:
+            break
+    stats.set("size_after", cone_size_many(aig, current))
+    return current, stats

@@ -1,0 +1,17 @@
+"""Reduced Ordered Binary Decision Diagrams.
+
+BDDs appear in two roles in the paper:
+
+* as the canonical-representation *baseline* whose "well known memory
+  explosion problem" motivates circuit-based state sets (the BDD
+  reachability engine of :mod:`repro.mc.reach_bdd` is built on this
+  package), and
+* as a helper inside the merge phase — "BDD sweeping [Kuehlmann-Krohm] as a
+  further enhancement of merge points detection" — where BDDs are grown
+  under a node budget and abandoned past it (:class:`repro.errors.BddLimitExceeded`).
+"""
+
+from repro.bdd.manager import BddManager, BDD_FALSE, BDD_TRUE
+from repro.bdd.from_aig import aig_to_bdd, bdd_to_aig
+
+__all__ = ["BddManager", "BDD_FALSE", "BDD_TRUE", "aig_to_bdd", "bdd_to_aig"]

@@ -1,0 +1,98 @@
+"""Bridges between AIGs and BDDs.
+
+``aig_to_bdd`` is the workhorse of BDD sweeping: it builds BDDs bottom-up
+for every node of a cone and *raises* :class:`~repro.errors.BddLimitExceeded`
+when the manager's node budget is exhausted, letting the caller cut the
+offending node instead.  ``bdd_to_aig`` converts back (multiplexer per BDD
+node), used by tests and by the BDD-reachability baseline when extracting
+witness functions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.aig.graph import FALSE, TRUE, Aig
+from repro.aig.ops import ite as aig_ite
+from repro.bdd.manager import BDD_FALSE, BDD_TRUE, BddManager
+from repro.errors import BddError
+
+
+def aig_to_bdd(
+    aig: Aig,
+    edge: int,
+    manager: BddManager,
+    var_map: Mapping[int, int],
+    node_cache: dict[int, int] | None = None,
+) -> int:
+    """Build the BDD of an AIG edge.
+
+    ``var_map`` maps AIG input *nodes* to BDD variable *indices*.  Inputs
+    missing from the map raise :class:`BddError`.  ``node_cache`` (AIG node
+    -> BDD node) may be shared across calls to amortize work over a cone —
+    BDD sweeping does exactly that.
+
+    Raises :class:`~repro.errors.BddLimitExceeded` if the manager has a node
+    budget and it is exhausted mid-construction.
+    """
+    if node_cache is None:
+        node_cache = {}
+    node_cache.setdefault(0, BDD_FALSE)
+    for node in aig.cone([edge]):
+        if node in node_cache:
+            continue
+        if aig.is_input(node):
+            if node not in var_map:
+                raise BddError(f"AIG input {node} missing from var_map")
+            node_cache[node] = manager.var_node(var_map[node])
+        else:
+            f0, f1 = aig.fanins(node)
+            b0 = node_cache[f0 >> 1]
+            if f0 & 1:
+                b0 = manager.not_(b0)
+            b1 = node_cache[f1 >> 1]
+            if f1 & 1:
+                b1 = manager.not_(b1)
+            node_cache[node] = manager.and_(b0, b1)
+    result = node_cache[edge >> 1]
+    return manager.not_(result) if edge & 1 else result
+
+
+def bdd_to_aig(
+    manager: BddManager,
+    bdd_node: int,
+    aig: Aig,
+    var_edges: Mapping[int, int],
+) -> int:
+    """Convert a BDD to an AIG edge (one mux per BDD node).
+
+    ``var_edges`` maps BDD variable indices to AIG edges.
+    """
+    cache: dict[int, int] = {BDD_FALSE: FALSE, BDD_TRUE: TRUE}
+    order = _topological(manager, bdd_node)
+    for node in order:
+        var = manager.var_of(node)
+        if var not in var_edges:
+            raise BddError(f"BDD variable {var} missing from var_edges")
+        low = cache[manager.low_of(node)]
+        high = cache[manager.high_of(node)]
+        cache[node] = aig_ite(aig, var_edges[var], high, low)
+    return cache[bdd_node]
+
+
+def _topological(manager: BddManager, root: int) -> list[int]:
+    order: list[int] = []
+    seen: set[int] = set()
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        if node <= 1 or node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        stack.append((manager.low_of(node), False))
+        stack.append((manager.high_of(node), False))
+    return order

@@ -1,0 +1,392 @@
+"""A classic ROBDD manager with an optional node budget.
+
+Nodes are integers; 0 and 1 are the terminals.  Internal nodes are
+hash-consed triples ``(var, low, high)`` with ``low != high`` and variables
+ordered along every path (``var`` strictly increases downward).  There are
+no complement edges — negation is an ``ite`` — which keeps the
+implementation small and the canonicity argument obvious.
+
+The node budget exists for the BDD-sweeping use case: when constructing the
+BDD of an AIG node overruns the budget, :class:`~repro.errors.BddLimitExceeded`
+is raised and the sweeping engine falls back to a cut point, exactly the
+"abandon and cut" behaviour of Kuehlmann-Krohm sweeping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import BddError, BddLimitExceeded
+
+BDD_FALSE = 0
+BDD_TRUE = 1
+
+
+class BddManager:
+    """Hash-consed ROBDD manager.
+
+    >>> mgr = BddManager()
+    >>> x, y = mgr.new_var("x"), mgr.new_var("y")
+    >>> f = mgr.and_(x, y)
+    >>> mgr.evaluate(f, {0: True, 1: True})
+    True
+    >>> g = mgr.exists(f, [1])     # exists y . x AND y  ==  x
+    >>> g == x
+    True
+    """
+
+    def __init__(self, max_nodes: int | None = None) -> None:
+        # Parallel arrays; slots 0/1 are the terminals (var = big sentinel).
+        self._var: list[int] = [2**30, 2**30]
+        self._low: list[int] = [-1, -1]
+        self._high: list[int] = [-1, -1]
+        self._unique: dict[tuple[int, int, int], int] = {}
+        self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._var_names: list[str] = []
+        self._var_nodes: list[int] = []
+        self.max_nodes = max_nodes
+
+    # ------------------------------------------------------------------ #
+    # Variables and raw nodes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Allocated node count (terminals included)."""
+        return len(self._var)
+
+    def new_var(self, name: str | None = None) -> int:
+        """Append a variable at the bottom of the order; returns its node.
+
+        Variable creation is exempt from the node budget: the budget guards
+        against *function* blow-up during sweeping, and cut-point insertion
+        itself must always be able to allocate a fresh variable.
+        """
+        index = len(self._var_names)
+        self._var_names.append(name if name is not None else f"v{index}")
+        node = self._make_node(index, BDD_FALSE, BDD_TRUE, exempt=True)
+        self._var_nodes.append(node)
+        return node
+
+    def var_node(self, index: int) -> int:
+        """The node for variable ``index`` (created via :meth:`new_var`)."""
+        if not 0 <= index < len(self._var_nodes):
+            raise BddError(f"variable index {index} out of range")
+        return self._var_nodes[index]
+
+    def var_name(self, index: int) -> str:
+        return self._var_names[index]
+
+    def var_of(self, node: int) -> int:
+        """Top variable index of a node (error on terminals)."""
+        if node <= 1:
+            raise BddError("terminals have no top variable")
+        return self._var[node]
+
+    def low_of(self, node: int) -> int:
+        return self._low[node]
+
+    def high_of(self, node: int) -> int:
+        return self._high[node]
+
+    def _make_node(
+        self, var: int, low: int, high: int, exempt: bool = False
+    ) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is not None:
+            return node
+        if (
+            not exempt
+            and self.max_nodes is not None
+            and len(self._var) >= self.max_nodes
+        ):
+            raise BddLimitExceeded(
+                f"BDD node budget of {self.max_nodes} exhausted"
+            )
+        node = len(self._var)
+        self._var.append(var)
+        self._low.append(low)
+        self._high.append(high)
+        self._unique[key] = node
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Core ITE
+    # ------------------------------------------------------------------ #
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else — the single primitive everything else rides on."""
+        # Terminal and simple cases.
+        if f == BDD_TRUE:
+            return g
+        if f == BDD_FALSE:
+            return h
+        if g == h:
+            return g
+        if g == BDD_TRUE and h == BDD_FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        var = min(
+            self._var[f], self._var[g], self._var[h]
+        )
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._make_node(var, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        if node <= 1 or self._var[node] != var:
+            return node, node
+        return self._low[node], self._high[node]
+
+    # ------------------------------------------------------------------ #
+    # Boolean algebra
+    # ------------------------------------------------------------------ #
+
+    def not_(self, f: int) -> int:
+        return self.ite(f, BDD_FALSE, BDD_TRUE)
+
+    def and_(self, f: int, g: int) -> int:
+        return self.ite(f, g, BDD_FALSE)
+
+    def or_(self, f: int, g: int) -> int:
+        return self.ite(f, BDD_TRUE, g)
+
+    def xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.not_(g), g)
+
+    def xnor(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.not_(g))
+
+    def implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, BDD_TRUE)
+
+    def and_all(self, nodes: Iterable[int]) -> int:
+        result = BDD_TRUE
+        for node in nodes:
+            result = self.and_(result, node)
+            if result == BDD_FALSE:
+                break
+        return result
+
+    def or_all(self, nodes: Iterable[int]) -> int:
+        result = BDD_FALSE
+        for node in nodes:
+            result = self.or_(result, node)
+            if result == BDD_TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Quantification, composition, restriction
+    # ------------------------------------------------------------------ #
+
+    def restrict(self, f: int, var: int, value: bool) -> int:
+        """Cofactor w.r.t. one variable."""
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._var[node] > var:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            if self._var[node] == var:
+                result = self._high[node] if value else self._low[node]
+            else:
+                result = self._make_node(
+                    self._var[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over a set of variable indices."""
+        result = f
+        for var in sorted(set(variables), reverse=True):
+            result = self._exists_one(result, var)
+        return result
+
+    def _exists_one(self, f: int, var: int) -> int:
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1 or self._var[node] > var:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            if self._var[node] == var:
+                result = self.or_(self._low[node], self._high[node])
+            else:
+                result = self._make_node(
+                    self._var[node],
+                    walk(self._low[node]),
+                    walk(self._high[node]),
+                )
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        return self.not_(self.exists(self.not_(f), variables))
+
+    def compose(self, f: int, substitution: Mapping[int, int]) -> int:
+        """Simultaneous substitution of BDDs for variables.
+
+        ``substitution`` maps variable indices to replacement BDD nodes.
+        Implemented by Shannon expansion on every node, which is correct for
+        simultaneous composition regardless of variable ordering.
+        """
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            var = self._var[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if var in substitution:
+                selector = substitution[var]
+            else:
+                selector = self.var_node(var)
+            result = self.ite(selector, high, low)
+            cache[node] = result
+            return result
+
+        return walk(f)
+
+    def rename(self, f: int, mapping: Mapping[int, int]) -> int:
+        """Variable-to-variable renaming (indices to indices)."""
+        return self.compose(
+            f, {old: self.var_node(new) for old, new in mapping.items()}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, f: int, assignment: Mapping[int, bool]) -> bool:
+        node = f
+        while node > 1:
+            var = self._var[node]
+            node = self._high[node] if assignment.get(var, False) else self._low[node]
+        return node == BDD_TRUE
+
+    def size(self, f: int) -> int:
+        """Number of internal nodes reachable from ``f``."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    def sat_count(self, f: int, num_vars: int | None = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        if num_vars is None:
+            num_vars = self.num_vars
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> tuple[int, int]:
+            """Returns (count over vars below node's var, node's var)."""
+            if node == BDD_FALSE:
+                return 0, num_vars
+            if node == BDD_TRUE:
+                return 1, num_vars
+            if node in cache:
+                return cache[node], self._var[node]
+            low_count, low_var = walk(self._low[node])
+            high_count, high_var = walk(self._high[node])
+            var = self._var[node]
+            low_count <<= low_var - var - 1
+            high_count <<= high_var - var - 1
+            total = low_count + high_count
+            cache[node] = total
+            return total, var
+
+        count, top_var = walk(f)
+        return count << top_var if f > 1 else count * (1 << num_vars) if f == 1 else 0
+
+    def pick_cube(self, f: int) -> dict[int, bool] | None:
+        """One satisfying partial assignment, or None if f is FALSE."""
+        if f == BDD_FALSE:
+            return None
+        cube: dict[int, bool] = {}
+        node = f
+        while node > 1:
+            var = self._var[node]
+            if self._low[node] != BDD_FALSE:
+                cube[var] = False
+                node = self._low[node]
+            else:
+                cube[var] = True
+                node = self._high[node]
+        return cube
+
+    def support(self, f: int) -> set[int]:
+        """Variable indices appearing in the BDD."""
+        seen: set[int] = set()
+        variables: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            variables.add(self._var[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return variables
+
+    def nodes_of(self, f: int) -> Iterator[tuple[int, int, int, int]]:
+        """Yield ``(node, var, low, high)`` for every internal node under f."""
+        seen: set[int] = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= 1 or node in seen:
+                continue
+            seen.add(node)
+            yield node, self._var[node], self._low[node], self._high[node]
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+
+    def cube(self, literals: Mapping[int, bool]) -> int:
+        """The conjunction of variable literals (index -> polarity)."""
+        result = BDD_TRUE
+        for var in sorted(literals, reverse=True):
+            node = self.var_node(var)
+            literal = node if literals[var] else self.not_(node)
+            result = self.and_(literal, result)
+        return result
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (unique table is kept — nodes stay valid)."""
+        self._ite_cache.clear()

@@ -1,0 +1,30 @@
+"""Sequential netlists and benchmark circuit generators.
+
+The paper evaluates on unnamed "hard-to-verify circuits and properties";
+this package provides the reproducible substitute: a latch/input netlist
+model over one AIG manager (:mod:`repro.circuits.netlist`), parametric
+sequential families with known-safe and known-buggy properties
+(:mod:`repro.circuits.generators`) and combinational families for the
+quantification experiments (:mod:`repro.circuits.combinational`).
+"""
+
+from repro.circuits.netlist import Netlist
+from repro.circuits import generators
+from repro.circuits import combinational
+from repro.circuits import library
+from repro.circuits.bench_format import parse_bench, serialize_bench
+from repro.circuits.blif import parse_blif, serialize_blif
+from repro.circuits.parse import parse_netlist, serialize_netlist
+
+__all__ = [
+    "Netlist",
+    "generators",
+    "combinational",
+    "library",
+    "parse_bench",
+    "serialize_bench",
+    "parse_blif",
+    "serialize_blif",
+    "parse_netlist",
+    "serialize_netlist",
+]

@@ -1,0 +1,242 @@
+"""BLIF (Berkeley Logic Interchange Format) subset: reader and writer.
+
+Supported constructs — the subset that covers the classic sequential
+benchmark suites::
+
+    .model <name>
+    .inputs a b c
+    .outputs f g
+    .latch <input> <output> [<type> <control>] [<init-val>]
+    .names a b f       # single-output PLA cover
+    11 1
+    0- 1
+    .end
+
+``.names`` covers are sums of cube products (``-`` is don't-care).  An
+output column of ``0`` describes the *offset*; the function is then the
+complement of the cover.  A ``.names`` block with no cube lines is the
+constant 0 (and with a single empty-input ``1`` line, constant 1), per the
+BLIF definition.  Latch init values 0/1 are honoured; 2/3 (don't
+care/unknown) default to 0.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import FALSE, TRUE, edge_not
+from repro.aig.ops import and_all, or_all
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def parse_blif(text: str) -> Netlist:
+    """Parse a BLIF model into a validated :class:`Netlist`."""
+    # Join continuation lines, strip comments.
+    logical_lines: list[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        if line.strip():
+            logical_lines.append(line.strip())
+
+    name = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    latches: list[tuple[str, str, bool]] = []  # (input, output, init)
+    covers: dict[str, tuple[list[str], list[tuple[str, str]]]] = {}
+
+    index = 0
+    current_names: str | None = None
+    for line in logical_lines:
+        index += 1
+        if line.startswith(".model"):
+            parts = line.split()
+            name = parts[1] if len(parts) > 1 else "blif"
+            current_names = None
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+            current_names = None
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+            current_names = None
+        elif line.startswith(".latch"):
+            parts = line.split()[1:]
+            if len(parts) < 2:
+                raise NetlistError(f"malformed .latch line: {line!r}")
+            init = False
+            if len(parts) in (3, 5):  # trailing init value present
+                init = parts[-1] == "1"
+            latches.append((parts[0], parts[1], init))
+            current_names = None
+        elif line.startswith(".names"):
+            signals = line.split()[1:]
+            if not signals:
+                raise NetlistError(".names needs at least an output")
+            target = signals[-1]
+            if target in covers:
+                raise NetlistError(f"{target!r} has two .names blocks")
+            covers[target] = (signals[:-1], [])
+            current_names = target
+        elif line.startswith(".end"):
+            current_names = None
+        elif line.startswith("."):
+            raise NetlistError(f"unsupported BLIF construct: {line!r}")
+        else:
+            if current_names is None:
+                raise NetlistError(f"cube line outside .names: {line!r}")
+            parts = line.split()
+            cover_inputs, cubes = covers[current_names]
+            if len(cover_inputs) == 0:
+                if len(parts) != 1:
+                    raise NetlistError(f"malformed constant cube: {line!r}")
+                cubes.append(("", parts[0]))
+            else:
+                if len(parts) != 2:
+                    raise NetlistError(f"malformed cube line: {line!r}")
+                cubes.append((parts[0], parts[1]))
+
+    netlist = Netlist(name)
+    signals: dict[str, int] = {}
+    for signal in inputs:
+        signals[signal] = netlist.add_input(signal)
+    latch_edges: dict[str, int] = {}
+    for _, latch_out, init in latches:
+        edge = netlist.add_latch(latch_out, init=init)
+        signals[latch_out] = edge
+        latch_edges[latch_out] = edge
+
+    elaborating: set[str] = set()
+
+    def elaborate(signal: str) -> int:
+        if signal in signals:
+            return signals[signal]
+        if signal not in covers:
+            raise NetlistError(f"undefined signal {signal!r}")
+        if signal in elaborating:
+            raise NetlistError(f"combinational cycle through {signal!r}")
+        elaborating.add(signal)
+        cover_inputs, cubes = covers[signal]
+        operand_edges = [elaborate(s) for s in cover_inputs]
+        signals[signal] = _build_cover(
+            netlist, operand_edges, cubes, signal
+        )
+        elaborating.discard(signal)
+        return signals[signal]
+
+    for latch_in, latch_out, _ in latches:
+        netlist.set_next(latch_edges[latch_out], elaborate(latch_in))
+    for signal in outputs:
+        netlist.set_output(signal, elaborate(signal))
+    netlist.validate()
+    return netlist
+
+
+def _build_cover(
+    netlist: Netlist,
+    operand_edges: list[int],
+    cubes: list[tuple[str, str]],
+    signal: str,
+) -> int:
+    aig = netlist.aig
+    if not cubes:
+        return FALSE
+    out_values = {value for _, value in cubes}
+    if len(out_values) != 1:
+        raise NetlistError(
+            f".names {signal!r} mixes onset and offset cubes"
+        )
+    out_value = out_values.pop()
+    if out_value not in ("0", "1"):
+        raise NetlistError(f"bad cover output {out_value!r} for {signal!r}")
+    products = []
+    for pattern, _ in cubes:
+        if len(pattern) != len(operand_edges):
+            raise NetlistError(
+                f"cube width mismatch in .names {signal!r}"
+            )
+        literals = []
+        for char, edge in zip(pattern, operand_edges):
+            if char == "1":
+                literals.append(edge)
+            elif char == "0":
+                literals.append(edge_not(edge))
+            elif char != "-":
+                raise NetlistError(f"bad cube character {char!r}")
+        products.append(and_all(aig, literals) if literals else TRUE)
+    cover = or_all(aig, products)
+    return cover if out_value == "1" else edge_not(cover)
+
+
+def serialize_blif(netlist: Netlist) -> str:
+    """Write a netlist as BLIF (two-input AND covers, one per AIG node)."""
+    aig = netlist.aig
+    lines = [f".model {netlist.name or 'repro'}"]
+    names: dict[int, str] = {}
+    input_names = []
+    for node in netlist.input_nodes:
+        names[node] = aig.input_name(node)
+        input_names.append(names[node])
+    if input_names:
+        lines.append(".inputs " + " ".join(input_names))
+    if netlist.outputs:
+        lines.append(".outputs " + " ".join(netlist.outputs))
+    for latch in netlist.latches:
+        names[latch.node] = latch.name
+
+    roots = [latch.next_edge for latch in netlist.latches]
+    roots.extend(netlist.outputs.values())
+
+    counter = 0
+    body: list[str] = []
+    invert_cache: dict[int, str] = {}
+    constant_cache: dict[int, str] = {}
+
+    def fresh() -> str:
+        nonlocal counter
+        counter += 1
+        return f"w{counter}"
+
+    def define_edge(edge: int) -> str:
+        """A signal carrying the edge's value (inverter covers cached)."""
+        node = edge >> 1
+        if node == 0:
+            cached = constant_cache.get(edge)
+            if cached is None:
+                cached = fresh()
+                constant_cache[edge] = cached
+                body.append(f".names {cached}")
+                if edge & 1:
+                    body.append("1")
+            return cached
+        if not (edge & 1):
+            return names[node]
+        cached = invert_cache.get(node)
+        if cached is None:
+            cached = fresh()
+            invert_cache[node] = cached
+            body.append(f".names {names[node]} {cached}")
+            body.append("0 1")
+        return cached
+
+    for node in aig.cone(roots):
+        if not aig.is_and(node):
+            continue
+        f0, f1 = aig.fanins(node)
+        name = fresh()
+        names[node] = name
+        s0, s1 = define_edge(f0), define_edge(f1)
+        body.append(f".names {s0} {s1} {name}")
+        body.append("11 1")
+    for latch in netlist.latches:
+        next_signal = define_edge(latch.next_edge)
+        body.append(f".latch {next_signal} {latch.name} {int(latch.init)}")
+    for out_name, edge in netlist.outputs.items():
+        signal = define_edge(edge)
+        if signal != out_name:
+            body.append(f".names {signal} {out_name}")
+            body.append("1 1")
+    return "\n".join(lines + body + [".end"]) + "\n"

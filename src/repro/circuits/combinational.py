@@ -1,0 +1,182 @@
+"""Combinational benchmark families for the quantification experiments.
+
+Each generator returns ``(aig, input_edges, output_edge)``.  These circuits
+are the workloads of experiments T1-T3 and F2: quantifying inputs out of
+arithmetic, comparator, selection and random logic stresses the merge and
+optimization phases in qualitatively different ways (arithmetic cofactors
+are similar; random-logic cofactors are not).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.aig.graph import Aig, edge_not
+from repro.aig.ops import and_all, ite, or_, or_all, xor
+from repro.errors import AigError
+
+
+def ripple_adder(width: int) -> tuple[Aig, list[int], int]:
+    """Ripple-carry adder; output is the final carry (a compact summary bit)."""
+    aig = Aig()
+    a = aig.add_inputs(width, prefix="a")
+    b = aig.add_inputs(width, prefix="b")
+    carry = 0
+    for x, y in zip(a, b):
+        gen = aig.and_(x, y)
+        prop = xor(aig, x, y)
+        carry = or_(aig, gen, aig.and_(prop, carry))
+    return aig, a + b, carry
+
+
+def adder_sum_parity(width: int) -> tuple[Aig, list[int], int]:
+    """Parity of the sum bits of an adder (deep XOR over carries)."""
+    aig = Aig()
+    a = aig.add_inputs(width, prefix="a")
+    b = aig.add_inputs(width, prefix="b")
+    carry = 0
+    parity = 0
+    for x, y in zip(a, b):
+        s = xor(aig, xor(aig, x, y), carry)
+        parity = xor(aig, parity, s)
+        gen = aig.and_(x, y)
+        prop = xor(aig, x, y)
+        carry = or_(aig, gen, aig.and_(prop, carry))
+    return aig, a + b, parity
+
+
+def comparator(width: int) -> tuple[Aig, list[int], int]:
+    """Unsigned ``a < b``."""
+    aig = Aig()
+    a = aig.add_inputs(width, prefix="a")
+    b = aig.add_inputs(width, prefix="b")
+    less = 0
+    for x, y in zip(a, b):  # LSB to MSB
+        eq = edge_not(xor(aig, x, y))
+        less = or_(aig, aig.and_(edge_not(x), y), aig.and_(eq, less))
+    return aig, a + b, less
+
+
+def mux_tree(select_bits: int) -> tuple[Aig, list[int], int]:
+    """A 2^k : 1 multiplexer tree (selects among data inputs)."""
+    aig = Aig()
+    selects = aig.add_inputs(select_bits, prefix="s")
+    data = aig.add_inputs(1 << select_bits, prefix="d")
+    layer = list(data)
+    for sel in selects:
+        layer = [
+            ite(aig, sel, layer[2 * i + 1], layer[2 * i])
+            for i in range(len(layer) // 2)
+        ]
+    return aig, selects + data, layer[0]
+
+
+def parity(width: int) -> tuple[Aig, list[int], int]:
+    """XOR of all inputs — the classic BDD-friendly, AIG-deep function."""
+    aig = Aig()
+    xs = aig.add_inputs(width, prefix="x")
+    acc = 0
+    for x in xs:
+        acc = xor(aig, acc, x)
+    return aig, xs, acc
+
+
+def majority(width: int) -> tuple[Aig, list[int], int]:
+    """Majority of ``width`` inputs via a sorting-free threshold counter."""
+    if width < 1:
+        raise AigError("majority needs at least one input")
+    aig = Aig()
+    xs = aig.add_inputs(width, prefix="x")
+    threshold = width // 2 + 1
+    # counts[j] == "at least j of the inputs seen so far are 1"
+    counts = [0] * (threshold + 1)
+    counts[0] = 1  # TRUE
+    for x in xs:
+        for j in range(threshold, 0, -1):
+            counts[j] = or_(aig, counts[j], aig.and_(counts[j - 1], x))
+    return aig, xs, counts[threshold]
+
+
+def random_logic(
+    num_inputs: int, num_gates: int, seed: int = 0
+) -> tuple[Aig, list[int], int]:
+    """Random AND/INV DAG; the low-cofactor-similarity stress case."""
+    rng = random.Random(seed)
+    aig = Aig()
+    xs = aig.add_inputs(num_inputs, prefix="x")
+    nodes = list(xs)
+    for _ in range(num_gates):
+        a = rng.choice(nodes) ^ rng.randint(0, 1)
+        b = rng.choice(nodes) ^ rng.randint(0, 1)
+        nodes.append(aig.and_(a, b))
+    root = nodes[-1] ^ rng.randint(0, 1)
+    return aig, xs, root
+
+
+def equality_with_constant_slices(
+    width: int, num_slices: int = 2
+) -> tuple[Aig, list[int], int]:
+    """OR of equality comparisons of input slices — highly similar cofactors.
+
+    Quantifying one variable leaves the other slices untouched, so the two
+    cofactors share almost everything: the best case for backward merging.
+    """
+    aig = Aig()
+    xs = aig.add_inputs(width * num_slices, prefix="x")
+    terms = []
+    for s in range(num_slices):
+        chunk = xs[s * width:(s + 1) * width]
+        terms.append(and_all(aig, chunk))
+    return aig, xs, or_all(aig, terms)
+
+
+def mux_of_variants(
+    num_terms: int, similar: bool = True
+) -> tuple[Aig, list[int], int]:
+    """``x ? A : B`` where A and B are term-wise restructured circuits.
+
+    With ``similar=True`` each pair of terms applies distributivity —
+    ``(a AND b) OR (a AND c)`` on one side, ``a AND (b OR c)`` on the
+    other — so the two cofactors w.r.t. ``x`` are *functionally equal at
+    every term* but share no internal structure.  This is the paper's
+    "high merge probability (similar cofactors)" case distilled: a
+    backward merge proves the roots equal in one check, a forward sweep
+    must work through the terms.
+
+    With ``similar=False`` the B-side terms compute different functions
+    (``a OR (b AND c)``), the low-merge-probability case.
+
+    Returns ``(aig, [x, a0, b0, c0, a1, ...], root)``.
+    """
+    aig = Aig()
+    x = aig.add_input("x")
+    inputs = [x]
+    a_terms = []
+    b_terms = []
+    for index in range(num_terms):
+        a = aig.add_input(f"a{index}")
+        b = aig.add_input(f"b{index}")
+        c = aig.add_input(f"c{index}")
+        inputs.extend([a, b, c])
+        a_terms.append(or_(aig, aig.and_(a, b), aig.and_(a, c)))
+        if similar:
+            b_terms.append(aig.and_(a, or_(aig, b, c)))
+        else:
+            b_terms.append(or_(aig, a, aig.and_(b, c)))
+    side_a = or_all(aig, a_terms)
+    side_b = or_all(aig, b_terms)
+    root = or_(aig, aig.and_(x, side_a), aig.and_(edge_not(x), side_b))
+    return aig, inputs, root
+
+
+COMBINATIONAL_FAMILIES = {
+    "ripple_adder": ripple_adder,
+    "adder_sum_parity": adder_sum_parity,
+    "comparator": comparator,
+    "mux_tree": mux_tree,
+    "parity": parity,
+    "majority": majority,
+    "random_logic": random_logic,
+    "equality_slices": equality_with_constant_slices,
+    "mux_of_variants": mux_of_variants,
+}

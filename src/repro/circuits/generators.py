@@ -1,0 +1,497 @@
+"""Parametric sequential benchmark families.
+
+Every generator returns a validated :class:`~repro.circuits.netlist.Netlist`
+with a property whose status is known by construction:
+
+================  =========================  ===========================
+family            safe variant               buggy variant
+================  =========================  ===========================
+mod_counter       value < modulus            value != modulus-1
+                                             (fails at depth modulus-1)
+ring_counter      one-hot invariant          bit k reached (depth k)
+shift_register    parity of taps invariant   --
+gray_counter      one-bit-change invariant   --
+arbiter           mutual exclusion           grant dropped (unfair ack)
+fifo_level        never overflows            overflow without guard
+traffic_light     never both green           --
+lfsr              never all-zero             --
+bug_at_depth      --                         fails exactly at depth d
+johnson_counter   at most one 01 boundary    adjacent bits never differ
+up_down_counter   saturation prevents wrap   wraps without the guard
+one_hot_fsm       exactly one state bit      glitch sets a second bit
+================  =========================  ===========================
+
+These are the stand-ins for the paper's unnamed "hard-to-verify circuits":
+widths scale the difficulty, and safe/buggy pairs exercise both fix-point
+termination and counterexample extraction.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import TRUE, edge_not
+from repro.aig.ops import and_all, ite, or_, or_all, xnor, xor
+from repro.circuits.netlist import Netlist
+from repro.errors import NetlistError
+
+
+def _equals_constant(netlist: Netlist, bits: list[int], value: int) -> int:
+    """Edge that is 1 iff the bit vector equals the constant."""
+    aig = netlist.aig
+    literals = [
+        bit if (value >> k) & 1 else edge_not(bit)
+        for k, bit in enumerate(bits)
+    ]
+    return and_all(aig, literals)
+
+
+def _less_than_constant(netlist: Netlist, bits: list[int], bound: int) -> int:
+    """Edge that is 1 iff the (unsigned) bit vector is < bound."""
+    aig = netlist.aig
+    width = len(bits)
+    if bound >= (1 << width):
+        return TRUE
+    # LSB-up recurrence: after step k, ``result`` compares bits[k..0] with
+    # bound[k..0]: "strictly less at position k" or "equal at k and less
+    # in the lower slice".
+    result = 0  # FALSE: empty slices are equal, hence not less
+    for k in range(width):
+        bit = bits[k]
+        if (bound >> k) & 1:
+            result = or_(aig, edge_not(bit), result)
+        else:
+            result = aig.and_(edge_not(bit), result)
+    return result
+
+
+def _incrementer(netlist: Netlist, bits: list[int], enable: int) -> list[int]:
+    """Next-state edges of a binary +1 (with enable)."""
+    aig = netlist.aig
+    nexts = []
+    carry = enable
+    for bit in bits:
+        nexts.append(xor(aig, bit, carry))
+        carry = aig.and_(bit, carry)
+    return nexts
+
+
+def mod_counter(width: int, modulus: int | None = None, safe: bool = True,
+                with_enable: bool = False) -> Netlist:
+    """Binary counter counting 0..modulus-1 and wrapping.
+
+    Safe property: value stays below ``modulus`` (the dead states above are
+    unreachable).  Buggy property: value never equals ``modulus - 1`` —
+    violated at depth modulus-1 (or later with enable).
+    """
+    if modulus is None:
+        modulus = (1 << width) - 1
+    if not 2 <= modulus <= (1 << width):
+        raise NetlistError("modulus must fit the counter width")
+    n = Netlist(f"mod_counter_{width}_{modulus}")
+    bits = n.add_latches(width, prefix="c")
+    enable = n.add_input("en") if with_enable else TRUE
+    aig = n.aig
+    wrap = _equals_constant(n, bits, modulus - 1)
+    incremented = _incrementer(n, bits, enable)
+    for bit, nxt in zip(bits, incremented):
+        held = ite(aig, aig.and_(wrap, enable), 0, nxt)  # wrap to zero
+        n.set_next(bit, held)
+    if safe:
+        n.set_property(_less_than_constant(n, bits, modulus))
+    else:
+        n.set_property(edge_not(_equals_constant(n, bits, modulus - 1)))
+    n.validate()
+    return n
+
+
+def ring_counter(width: int, safe: bool = True, target_bit: int | None = None) -> Netlist:
+    """One-hot rotating token.
+
+    Safe property: the token count is exactly one (one-hot invariant).
+    Buggy property: "bit ``target_bit`` is never 1" — the token arrives
+    there at depth ``target_bit``.
+    """
+    if width < 2:
+        raise NetlistError("ring counter needs width >= 2")
+    n = Netlist(f"ring_counter_{width}")
+    bits = n.add_latches(width, prefix="r", init=1)  # token at bit 0
+    for k, bit in enumerate(bits):
+        n.set_next(bit, bits[(k - 1) % width])
+    aig = n.aig
+    if safe:
+        # Exactly one bit set: OR of bits AND no two adjacent-or-not bits.
+        any_set = or_all(aig, bits)
+        pairwise = [
+            edge_not(aig.and_(bits[i], bits[j]))
+            for i in range(width)
+            for j in range(i + 1, width)
+        ]
+        n.set_property(aig.and_(any_set, and_all(aig, pairwise)))
+    else:
+        if target_bit is None:
+            target_bit = width - 1
+        n.set_property(edge_not(bits[target_bit]))
+    n.validate()
+    return n
+
+
+def shift_register(width: int) -> Netlist:
+    """Serial-in shift register; safe parity-style property.
+
+    Property: the XNOR of shifted copies of the same input history holds —
+    concretely, bit k+1 next-cycle equals bit k this cycle, expressed over
+    a shadow register (always true, needs induction depth 1).
+    """
+    if width < 2:
+        raise NetlistError("shift register needs width >= 2")
+    n = Netlist(f"shift_register_{width}")
+    serial = n.add_input("serial")
+    bits = n.add_latches(width, prefix="s")
+    shadow = n.add_latch("shadow", init=False)
+    n.set_next(bits[0], serial)
+    for k in range(1, width):
+        n.set_next(bits[k], bits[k - 1])
+    # Shadow tracks bits[0] delayed by one, so shadow == bits[1].
+    n.set_next(shadow, bits[0])
+    n.set_property(xnor(n.aig, shadow, bits[1]))
+    n.validate()
+    return n
+
+
+def gray_counter(width: int) -> Netlist:
+    """Gray-code counter with the one-bit-change invariant.
+
+    The circuit keeps the previous value in shadow latches; the property
+    says current and previous differ in at most one bit position.
+    """
+    if width < 2:
+        raise NetlistError("gray counter needs width >= 2")
+    n = Netlist(f"gray_counter_{width}")
+    aig = n.aig
+    binary = n.add_latches(width, prefix="b")
+    gray_now = [
+        xor(aig, binary[k], binary[k + 1]) if k + 1 < width else binary[k]
+        for k in range(width)
+    ]
+    prev = n.add_latches(width, prefix="p")
+    incremented = _incrementer(n, binary, TRUE)
+    for bit, nxt in zip(binary, incremented):
+        n.set_next(bit, nxt)
+    for latch, value in zip(prev, gray_now):
+        n.set_next(latch, value)
+    diffs = [xor(aig, g, p) for g, p in zip(gray_now, prev)]
+    # At most one difference: no pair of differences simultaneously 1.
+    at_most_one = and_all(
+        aig,
+        [
+            edge_not(aig.and_(diffs[i], diffs[j]))
+            for i in range(width)
+            for j in range(i + 1, width)
+        ],
+    )
+    n.set_property(at_most_one)
+    n.validate()
+    return n
+
+
+def arbiter(num_clients: int, safe: bool = True) -> Netlist:
+    """Round-robin arbiter: token rotates, grant = request AND token.
+
+    Safe property: grants are mutually exclusive.  Buggy variant drives
+    grants directly from requests (no token) so two requests collide.
+    """
+    if num_clients < 2:
+        raise NetlistError("arbiter needs at least 2 clients")
+    n = Netlist(f"arbiter_{num_clients}")
+    aig = n.aig
+    requests = n.add_inputs(num_clients, prefix="req")
+    token = n.add_latches(num_clients, prefix="tok", init=1)
+    for k, bit in enumerate(token):
+        n.set_next(bit, token[(k - 1) % num_clients])
+    if safe:
+        grants = [aig.and_(req, tok) for req, tok in zip(requests, token)]
+    else:
+        grants = list(requests)  # bug: requests granted unconditionally
+    for k, grant in enumerate(grants):
+        n.set_output(f"gnt{k}", grant)
+    exclusive = and_all(
+        aig,
+        [
+            edge_not(aig.and_(grants[i], grants[j]))
+            for i in range(num_clients)
+            for j in range(i + 1, num_clients)
+        ],
+    )
+    n.set_property(exclusive)
+    n.validate()
+    return n
+
+
+def fifo_level(depth_bits: int, safe: bool = True) -> Netlist:
+    """FIFO fill-level tracker with push/pop inputs.
+
+    Level is a ``depth_bits``-wide counter; usable capacity is
+    ``2**depth_bits - 1`` and the all-ones value is the illegal overflow
+    state.  The safe variant refuses pushes at capacity (and pops when
+    empty), so the overflow state is unreachable; the buggy variant pushes
+    unconditionally and reaches it after ``capacity + 1`` pushes.
+    Property (both variants): ``level != all-ones``.
+    """
+    n = Netlist(f"fifo_level_{depth_bits}")
+    aig = n.aig
+    push = n.add_input("push")
+    pop = n.add_input("pop")
+    level = n.add_latches(depth_bits, prefix="lv")
+    overflow_value = (1 << depth_bits) - 1
+    at_capacity = _equals_constant(n, level, overflow_value - 1)
+    empty = _equals_constant(n, level, 0)
+    do_push = aig.and_(push, edge_not(pop))
+    do_pop = aig.and_(pop, edge_not(push))
+    if safe:
+        do_push = aig.and_(do_push, edge_not(at_capacity))
+        do_pop = aig.and_(do_pop, edge_not(empty))
+    plus_one = _incrementer(n, level, TRUE)
+    minus_one = _decrementer(n, level)
+    for k, bit in enumerate(level):
+        nxt = ite(aig, do_push, plus_one[k], ite(aig, do_pop, minus_one[k], bit))
+        n.set_next(bit, nxt)
+    n.set_property(edge_not(_equals_constant(n, level, overflow_value)))
+    n.validate()
+    return n
+
+
+def _decrementer(netlist: Netlist, bits: list[int]) -> list[int]:
+    aig = netlist.aig
+    nexts = []
+    borrow = TRUE
+    for bit in bits:
+        nexts.append(xor(aig, bit, borrow))
+        borrow = aig.and_(edge_not(bit), borrow)
+    return nexts
+
+
+def traffic_light() -> Netlist:
+    """Two one-hot FSMs for crossing roads; property: never both green.
+
+    Each light cycles green -> yellow -> red; the north-south light holds
+    green while east-west is not red, driven by a shared phase token.
+    """
+    n = Netlist("traffic_light")
+    aig = n.aig
+    # Phase counter 0..5; NS green in phases 0-1, EW green in phases 3-4.
+    phase = n.add_latches(3, prefix="ph")
+    wrap = _equals_constant(n, phase, 5)
+    incremented = _incrementer(n, phase, TRUE)
+    for bit, nxt in zip(phase, incremented):
+        n.set_next(bit, ite(aig, wrap, 0, nxt))
+    ns_green = or_(
+        aig,
+        _equals_constant(n, phase, 0),
+        _equals_constant(n, phase, 1),
+    )
+    ew_green = or_(
+        aig,
+        _equals_constant(n, phase, 3),
+        _equals_constant(n, phase, 4),
+    )
+    n.set_output("ns_green", ns_green)
+    n.set_output("ew_green", ew_green)
+    n.set_property(edge_not(aig.and_(ns_green, ew_green)))
+    n.validate()
+    return n
+
+
+def lfsr(width: int, taps: tuple[int, ...] | None = None) -> Netlist:
+    """Fibonacci LFSR seeded non-zero; property: never reaches all-zero."""
+    if width < 2:
+        raise NetlistError("lfsr needs width >= 2")
+    if taps is None:
+        taps = (width - 1, 0)
+    n = Netlist(f"lfsr_{width}")
+    aig = n.aig
+    bits = n.add_latches(width, prefix="x", init=1)
+    feedback = 0
+    for tap in taps:
+        if not 0 <= tap < width:
+            raise NetlistError(f"tap {tap} out of range")
+        feedback = xor(aig, feedback, bits[tap])
+    n.set_next(bits[0], feedback)
+    for k in range(1, width):
+        n.set_next(bits[k], bits[k - 1])
+    n.set_property(or_all(aig, bits))
+    n.validate()
+    return n
+
+
+def bug_at_depth(depth: int, width: int | None = None) -> Netlist:
+    """A circuit whose property fails at exactly ``depth`` steps.
+
+    A counter reaches ``depth`` and trips the property; used to validate
+    counterexample lengths of BMC and backward reachability.
+    """
+    if depth < 1:
+        raise NetlistError("depth must be >= 1")
+    if width is None:
+        width = max(2, depth.bit_length() + 1)
+    if depth >= (1 << width):
+        raise NetlistError("depth does not fit the counter width")
+    n = Netlist(f"bug_at_depth_{depth}")
+    bits = n.add_latches(width, prefix="d")
+    saturate = _equals_constant(n, bits, depth)
+    incremented = _incrementer(n, bits, edge_not(saturate))
+    for bit, nxt in zip(bits, incremented):
+        n.set_next(bit, nxt)
+    n.set_property(edge_not(saturate))
+    n.validate()
+    return n
+
+
+def johnson_counter(width: int, safe: bool = True) -> Netlist:
+    """Johnson (twisted-ring) counter: shift with inverted feedback.
+
+    The reachable codes are exactly the 2*width "runs" patterns, so the
+    invariant "the bit vector is a valid Johnson code" holds.  A valid
+    code has at most one 0->1 and at most one 1->0 boundary when read
+    cyclically; the safe property encodes that.  The buggy variant feeds
+    back without the inversion (a plain ring over an all-zero start), so
+    the all-ones code — not a Johnson code boundary-wise reachable from
+    the seed — never appears and the buggy property "bit pattern never
+    alternates" fails once the twist is excited.
+    """
+    if width < 2:
+        raise NetlistError("johnson counter needs width >= 2")
+    n = Netlist(f"johnson_{width}" if safe else f"johnson_{width}_buggy")
+    aig = n.aig
+    bits = n.add_latches(width, prefix="j")
+    for k in range(width - 1):
+        n.set_next(bits[k + 1], bits[k])
+    n.set_next(bits[0], edge_not(bits[-1]))
+    # Boundary count: a Johnson code has at most one 01 boundary among
+    # adjacent pairs (cyclically, ignoring the twist position).
+    boundaries = [
+        aig.and_(edge_not(bits[k]), bits[k + 1]) for k in range(width - 1)
+    ]
+    at_most_one = and_all(
+        aig,
+        [
+            edge_not(aig.and_(boundaries[i], boundaries[j]))
+            for i in range(len(boundaries))
+            for j in range(i + 1, len(boundaries))
+        ],
+    )
+    if safe:
+        n.set_property(at_most_one)
+    else:
+        # "Bit 0 and bit 1 never differ" — falsified after `width` steps
+        # when the inverted feedback wraps around.
+        n.set_property(xnor(aig, bits[0], bits[1]))
+    n.validate()
+    return n
+
+
+def up_down_counter(width: int, safe: bool = True) -> Netlist:
+    """A saturating up/down counter with direction and enable inputs.
+
+    Counts up when ``up`` is held, down otherwise; saturates at both ends
+    instead of wrapping.  Safe property: the counter never wraps, i.e.
+    the value never jumps between all-ones and all-zeros in one step
+    (expressed via a shadow copy of the previous MSB).  The buggy variant
+    drops the saturation guard, so incrementing past the top wraps.
+    """
+    if width < 2:
+        raise NetlistError("up/down counter needs width >= 2")
+    n = Netlist(
+        f"updown_{width}" if safe else f"updown_{width}_buggy"
+    )
+    aig = n.aig
+    up = n.add_input("up")
+    enable = n.add_input("enable")
+    bits = n.add_latches(width, prefix="c")
+    at_top = and_all(aig, bits)
+    at_bottom = and_all(aig, [edge_not(b) for b in bits])
+    if safe:
+        step_up = aig.and_(up, edge_not(at_top))
+        step_down = aig.and_(edge_not(up), edge_not(at_bottom))
+    else:
+        step_up = up  # bug: increments past the top wrap to zero
+        step_down = edge_not(up)
+    do_step = aig.and_(enable, or_(aig, step_up, step_down))
+    # Ripple increment/decrement selected by direction.
+    carry = do_step
+    next_bits = []
+    for bit in bits:
+        toggled = xor(aig, bit, carry)
+        # Carry propagates on 1s when counting up, on 0s when down.
+        carry = aig.and_(carry, ite(aig, up, bit, edge_not(bit)))
+        next_bits.append(toggled)
+    for bit, nxt in zip(bits, next_bits):
+        n.set_next(bit, nxt)
+    # Shadow latch remembering "was at top while stepping up".
+    wrapped = n.add_latch("wrapped", init=False)
+    wrap_now = or_(
+        aig,
+        aig.and_(aig.and_(enable, up), at_top),
+        aig.and_(aig.and_(enable, edge_not(up)), at_bottom),
+    )
+    if safe:
+        n.set_next(wrapped, wrapped)  # stays 0: saturation prevents wrap
+    else:
+        n.set_next(wrapped, or_(aig, wrapped, wrap_now))
+    n.set_property(edge_not(wrapped))
+    n.set_output("at_top", at_top)
+    n.validate()
+    return n
+
+
+def one_hot_fsm(num_states: int, safe: bool = True) -> Netlist:
+    """A one-hot encoded FSM cycling through its states on ``advance``.
+
+    Safe property: exactly-one-hot is invariant.  The buggy variant
+    skips clearing the previous state bit on a hidden input pattern, so
+    two bits end up set.
+    """
+    if num_states < 2:
+        raise NetlistError("FSM needs at least 2 states")
+    n = Netlist(
+        f"onehot_{num_states}" if safe else f"onehot_{num_states}_buggy"
+    )
+    aig = n.aig
+    advance = n.add_input("advance")
+    glitch = n.add_input("glitch")
+    bits = n.add_latches(num_states, prefix="s", init=1)
+    for k, bit in enumerate(bits):
+        previous = bits[(k - 1) % num_states]
+        stay = aig.and_(bit, edge_not(advance))
+        take = aig.and_(previous, advance)
+        nxt = or_(aig, stay, take)
+        if not safe and k == 1:
+            # Bug: a glitch latches state 1 without clearing state 0.
+            nxt = or_(aig, nxt, aig.and_(glitch, bits[0]))
+        n.set_next(bit, nxt)
+    some = or_all(aig, bits)
+    no_pair = and_all(
+        aig,
+        [
+            edge_not(aig.and_(bits[i], bits[j]))
+            for i in range(num_states)
+            for j in range(i + 1, num_states)
+        ],
+    )
+    n.set_property(aig.and_(some, no_pair))
+    n.validate()
+    return n
+
+
+FAMILIES = {
+    "mod_counter": mod_counter,
+    "ring_counter": ring_counter,
+    "shift_register": shift_register,
+    "gray_counter": gray_counter,
+    "arbiter": arbiter,
+    "fifo_level": fifo_level,
+    "traffic_light": traffic_light,
+    "lfsr": lfsr,
+    "bug_at_depth": bug_at_depth,
+    "johnson_counter": johnson_counter,
+    "up_down_counter": up_down_counter,
+    "one_hot_fsm": one_hot_fsm,
+}

@@ -1,0 +1,138 @@
+"""A small library of classic benchmark circuits.
+
+The paper reports results on unnamed "hard-to-verify circuits"; the
+closest public stand-ins are the ISCAS-85/89 suites, whose smallest
+members are embedded here verbatim in ``.bench`` text (they are tiny and
+serve as fixed, well-understood test vehicles next to the parametric
+generators).  Each loader returns a fresh :class:`Netlist`.
+
+* :func:`c17` — ISCAS-85 c17: 5 inputs, 6 NAND gates, combinational.
+* :func:`s27` — ISCAS-89 s27: 4 inputs, 3 DFFs, the smallest sequential
+  benchmark.
+* :func:`s27_with_property` — s27 plus an invariant over its state bits
+  (an actual model-checking instance: the property is an assertion about
+  the reachable state space, checked safe by the engines in the tests).
+* :func:`handshake` — a two-phase req/ack handshake controller with a
+  mutual-exclusion invariant (safe) and a broken variant.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import edge_not
+from repro.aig.ops import or_
+from repro.circuits.bench_format import parse_bench
+from repro.circuits.netlist import Netlist
+
+_C17 = """
+# ISCAS-85 c17
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+"""
+
+_S27 = """
+# ISCAS-89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 combinational benchmark."""
+    return parse_bench(_C17, name="c17")
+
+
+def s27() -> Netlist:
+    """The ISCAS-89 s27 sequential benchmark (no property attached)."""
+    return parse_bench(_S27, name="s27")
+
+
+def s27_with_property() -> Netlist:
+    """s27 with the invariant "latches G5 and G6 are never both 1".
+
+    From the initial all-zero state, G5' = NOR(NOT G0, G11) and
+    G6' = NOR(G5, G9) can each rise, but the NOR feedback structure never
+    raises both in the same cycle — a small, true invariant that gives the
+    traversal engines a real fix-point to find.
+    """
+    netlist = s27()
+    by_name = {latch.name: latch for latch in netlist.latches}
+    g5 = 2 * by_name["G5"].node
+    g6 = 2 * by_name["G6"].node
+    netlist.set_property(edge_not(netlist.aig.and_(g5, g6)))
+    netlist.validate()
+    return netlist
+
+
+def handshake(safe: bool = True) -> Netlist:
+    """A two-phase request/acknowledge handshake controller.
+
+    Two latches track a requester and a responder grant.  The protocol
+    only grants the responder after the requester released (two-phase),
+    so the invariant "never both grants" holds.  With ``safe=False`` the
+    responder ignores the release, making the invariant fail after one
+    granted request.
+    """
+    netlist = Netlist("handshake" if safe else "handshake_buggy")
+    req = netlist.add_input("req")
+    grant_a = netlist.add_latch("grant_a", init=False)
+    grant_b = netlist.add_latch("grant_b", init=False)
+    aig = netlist.aig
+    # grant_a rises on req when nothing is granted, falls when req drops.
+    idle = aig.and_(edge_not(grant_a), edge_not(grant_b))
+    netlist.set_next(grant_a, aig.and_(req, or_(aig, grant_a, idle)))
+    if safe:
+        # grant_b only after grant_a released and a request is pending.
+        take_b = aig.and_(req, aig.and_(edge_not(grant_a), grant_b))
+        rise_b = aig.and_(
+            req, aig.and_(edge_not(grant_a), edge_not(grant_b))
+        )
+        # Rise only when grant_a is low *and stays low* (req held gives
+        # grant_a priority) — gate the rise on NOT next(grant_a).
+        next_a = aig.and_(req, or_(aig, grant_a, idle))
+        rise_b = aig.and_(rise_b, edge_not(next_a))
+        netlist.set_next(grant_b, or_(aig, take_b, rise_b))
+    else:
+        # Bug: grant_b rises whenever a request is pending, ignoring a.
+        netlist.set_next(grant_b, req)
+    netlist.set_property(edge_not(aig.and_(grant_a, grant_b)))
+    netlist.set_output("busy", or_(aig, grant_a, grant_b))
+    netlist.validate()
+    return netlist
+
+
+def catalogue() -> dict[str, Netlist]:
+    """All library circuits by name (fresh instances)."""
+    return {
+        "c17": c17(),
+        "s27": s27(),
+        "s27_with_property": s27_with_property(),
+        "handshake": handshake(True),
+        "handshake_buggy": handshake(False),
+    }

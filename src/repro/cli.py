@@ -1,0 +1,332 @@
+"""Command-line interface to the library's engines.
+
+Installed as the ``repro`` console script::
+
+    repro info design.bench
+    repro convert design.bench design.blif
+    repro mc design.blif --method reach_aig --property "!bad"
+    repro quantify design.bench --output G22 --vars G1,G3 --preset full
+    repro fraig design.bench
+    repro atpg design.bench --rounds 4
+
+File formats are chosen by extension: ``.bench`` (ISCAS-89), ``.blif``
+(Berkeley), anything else is the native line-oriented netlist format of
+:mod:`repro.circuits.parse`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.aig.graph import edge_not
+from repro.circuits.bench_format import parse_bench, serialize_bench
+from repro.circuits.blif import parse_blif, serialize_blif
+from repro.circuits.netlist import Netlist
+from repro.circuits.parse import parse_netlist, serialize_netlist
+from repro.errors import ReproError
+
+
+def _load(path: str) -> Netlist:
+    text = pathlib.Path(path).read_text()
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix == ".bench":
+        return parse_bench(text, name=pathlib.Path(path).stem)
+    if suffix == ".blif":
+        return parse_blif(text)
+    return parse_netlist(text)
+
+
+def _save(netlist: Netlist, path: str) -> None:
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix == ".bench":
+        text = serialize_bench(netlist)
+    elif suffix == ".blif":
+        text = serialize_blif(netlist)
+    else:
+        text = serialize_netlist(netlist)
+    pathlib.Path(path).write_text(text)
+
+
+def _resolve_signal(netlist: Netlist, token: str) -> int:
+    """An output name or input/latch name, with optional ``!`` prefix."""
+    invert = token.startswith("!")
+    name = token[1:] if invert else token
+    edge = None
+    if name in netlist.outputs:
+        edge = netlist.outputs[name]
+    else:
+        for node in netlist.aig.inputs:
+            if netlist.aig.input_name(node) == name:
+                edge = 2 * node
+                break
+    if edge is None:
+        raise ReproError(
+            f"unknown signal {name!r}; outputs are "
+            f"{sorted(netlist.outputs)}"
+        )
+    return edge_not(edge) if invert else edge
+
+
+# ---------------------------------------------------------------------- #
+# Subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    netlist = _load(args.file)
+    aig = netlist.aig
+    print(f"name:      {netlist.name}")
+    print(f"inputs:    {netlist.num_inputs}")
+    print(f"latches:   {netlist.num_latches}")
+    print(f"and gates: {aig.num_ands}")
+    print(f"outputs:   {', '.join(sorted(netlist.outputs)) or '(none)'}")
+    print(f"property:  {'yes' if netlist.has_property else 'no'}")
+    if netlist.num_latches:
+        inits = "".join(
+            str(int(latch.init)) for latch in netlist.latches
+        )
+        print(f"init:      {inits} ({[l.name for l in netlist.latches]})")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    netlist = _load(args.input)
+    _save(netlist, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from repro.mc import verify
+    from repro.mc.result import Status
+
+    netlist = _load(args.file)
+    if args.property is not None:
+        netlist.set_property(_resolve_signal(netlist, args.property))
+    if not netlist.has_property:
+        print(
+            "error: the file carries no property; pass --property SIGNAL",
+            file=sys.stderr,
+        )
+        return 2
+    result = verify(netlist, method=args.method, max_depth=args.max_depth)
+    print(f"engine:  {result.engine}")
+    print(f"verdict: {result.status.value}")
+    print(f"iterations: {result.iterations}")
+    if result.trace is not None:
+        print(f"counterexample depth: {result.trace.depth}")
+        if args.minimize:
+            from repro.mc.minimize import minimize_trace
+
+            minimized = minimize_trace(netlist, result.trace)
+            print(
+                f"minimized: {minimized.care_count} of "
+                f"{minimized.total_inputs} trace inputs matter "
+                f"({minimized.care_ratio:.0%})"
+            )
+            result.trace = minimized.trace
+        if args.trace:
+            latch_order = netlist.latch_nodes
+            names = [latch.name for latch in netlist.latches]
+            print("trace (" + " ".join(names) + "):")
+            for step, state in enumerate(result.trace.states):
+                bits = "".join(
+                    str(int(state[node])) for node in latch_order
+                )
+                print(f"  step {step}: {bits}")
+    if result.status is Status.FAILED:
+        return 1
+    if result.status is Status.UNKNOWN:
+        return 3
+    return 0
+
+
+def _cmd_quantify(args: argparse.Namespace) -> int:
+    from repro.core.quantify import QuantifyOptions, quantify_exists
+
+    netlist = _load(args.file)
+    root = _resolve_signal(netlist, args.output)
+    by_name = {
+        netlist.aig.input_name(node): node for node in netlist.aig.inputs
+    }
+    variables = []
+    for token in args.vars.split(","):
+        token = token.strip()
+        if token not in by_name:
+            raise ReproError(f"unknown input variable {token!r}")
+        variables.append(by_name[token])
+    options = QuantifyOptions.preset(args.preset)
+    options.schedule = args.schedule
+    outcome = quantify_exists(netlist.aig, root, variables, options)
+    print(f"quantified: {len(outcome.quantified)} of "
+          f"{len(variables)} variables")
+    print(f"size: {outcome.stats.get('initial_size'):.0f} -> "
+          f"{outcome.size} AND nodes "
+          f"(peak {outcome.stats.get('peak_size', 0):.0f})")
+    for key in ("sat_checks", "proved_equal", "dc_constants", "dc_merges"):
+        if key in outcome.stats:
+            print(f"{key}: {outcome.stats.get(key):.0f}")
+    return 0
+
+
+def _cmd_fraig(args: argparse.Namespace) -> int:
+    from repro.sweep.fraig import fraig
+
+    netlist = _load(args.file)
+    roots = list(netlist.outputs.values())
+    if netlist.has_property:
+        roots.append(netlist.property_edge)
+    if not roots:
+        print("error: no outputs to reduce", file=sys.stderr)
+        return 2
+    result = fraig(netlist.aig, roots, engine=args.engine)
+    print(f"size: {result.stats.get('size_before'):.0f} -> "
+          f"{result.size} AND nodes "
+          f"({result.stats.get('rounds'):.0f} rounds, "
+          f"{result.stats.get('sat_checks', 0):.0f} SAT checks)")
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from repro.atpg import FaultSimulator, SatTestGenerator
+
+    netlist = _load(args.file)
+    roots = list(netlist.outputs.values())
+    if not roots:
+        print("error: no outputs to test", file=sys.stderr)
+        return 2
+    simulator = FaultSimulator(netlist.aig, roots)
+    total = len(simulator.remaining)
+    coverage = simulator.run_random(words=args.words, rounds=args.rounds)
+    print(f"fault list: {total} collapsed faults")
+    print(f"random-pattern coverage: {coverage:.1%} "
+          f"({len(simulator.remaining)} survivors)")
+    generator = SatTestGenerator(netlist.aig, roots)
+    redundant = aborted = detected = 0
+    for fault in list(simulator.remaining):
+        testable, _ = generator.generate(fault)
+        if testable is True:
+            detected += 1
+        elif testable is False:
+            redundant += 1
+            if args.verbose:
+                print(f"  redundant: {fault.describe(netlist.aig)}")
+        else:
+            aborted += 1
+    print(f"deterministic pass: {detected} detected, "
+          f"{redundant} redundant, {aborted} aborted")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Circuit-based quantification for unbounded model checking "
+            "(Cabodi et al., DATE 2005)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="structural summary of a netlist")
+    p_info.add_argument("file")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_convert = sub.add_parser(
+        "convert", help="convert between .bench/.blif/native formats"
+    )
+    p_convert.add_argument("input")
+    p_convert.add_argument("output")
+    p_convert.set_defaults(func=_cmd_convert)
+
+    p_mc = sub.add_parser("mc", help="model check an invariant")
+    p_mc.add_argument("file")
+    p_mc.add_argument(
+        "--method",
+        default="reach_aig",
+        choices=[
+            "reach_aig", "reach_aig_fwd", "reach_aig_allsat",
+            "reach_aig_hybrid", "reach_bdd", "reach_bdd_fwd",
+            "bmc", "k_induction",
+        ],
+    )
+    p_mc.add_argument(
+        "--property",
+        help="output/input name to assert invariantly true ('!name' negates)",
+    )
+    p_mc.add_argument("--max-depth", type=int, default=100)
+    p_mc.add_argument(
+        "--trace", action="store_true", help="print the counterexample states"
+    )
+    p_mc.add_argument(
+        "--minimize",
+        action="store_true",
+        help="don't-care-minimize the counterexample inputs",
+    )
+    p_mc.set_defaults(func=_cmd_mc)
+
+    p_quant = sub.add_parser(
+        "quantify", help="existentially quantify inputs out of an output cone"
+    )
+    p_quant.add_argument("file")
+    p_quant.add_argument("--output", required=True, help="root signal")
+    p_quant.add_argument(
+        "--vars", required=True, help="comma-separated input names"
+    )
+    p_quant.add_argument(
+        "--preset",
+        default="full",
+        choices=["shannon", "hash", "bdd", "sat", "full"],
+    )
+    p_quant.add_argument(
+        "--schedule",
+        default="min_dependence",
+        choices=["static", "min_dependence", "min_level", "cofactor_probe"],
+    )
+    p_quant.set_defaults(func=_cmd_quantify)
+
+    p_fraig = sub.add_parser(
+        "fraig", help="functionally reduce the output cones"
+    )
+    p_fraig.add_argument("file")
+    p_fraig.add_argument(
+        "--engine", default="cnf", choices=["cnf", "circuit"]
+    )
+    p_fraig.set_defaults(func=_cmd_fraig)
+
+    p_atpg = sub.add_parser(
+        "atpg", help="stuck-at fault campaign on the output cones"
+    )
+    p_atpg.add_argument("file")
+    p_atpg.add_argument("--words", type=int, default=4)
+    p_atpg.add_argument("--rounds", type=int, default=4)
+    p_atpg.add_argument("--verbose", action="store_true")
+    p_atpg.set_defaults(func=_cmd_atpg)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Pre-image and post-image over AIG state sets (Section 3 support).
+
+``ImageComputer`` binds a netlist to a quantification strategy:
+
+* **pre-image** uses the in-lining rule — compose the next-state functions
+  into the state set (no quantifier for next-state variables at all) —
+  then existentially quantifies the primary inputs with the circuit-based
+  engine;
+* **post-image** has no such shortcut: it builds the relational product
+  with next-state placeholder variables and quantifies both current state
+  and inputs (provided for completeness and forward-reachability
+  extensions; the paper's traversal is backward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.graph import Aig
+from repro.aig.ops import and_all, compose, support, xnor
+from repro.circuits.netlist import Netlist
+from repro.core.partial import PartialOutcome, PartialQuantifier
+from repro.core.quantify import QuantifyOptions, quantify_exists
+from repro.core.substitution import preimage_by_substitution
+from repro.sweep.satsweep import SatSweeper
+from repro.util.stats import StatsBag
+
+
+@dataclass
+class ImageResult:
+    """An image computation outcome."""
+
+    edge: int
+    quantified: list[int]
+    residual: list[int]          # inputs left unquantified (partial mode)
+    stats: StatsBag
+
+
+class ImageComputer:
+    """Pre/post-image engine over one netlist.
+
+    With ``partial=True`` the input quantification aborts expensive
+    variables and reports them in ``ImageResult.residual`` — the hook that
+    experiment T6/T7 use to hand residual variables to SAT engines.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        options: QuantifyOptions | None = None,
+        partial: bool = False,
+        growth_factor: float = 2.0,
+        share_solver: bool = True,
+    ) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.aig: Aig = netlist.aig
+        self.options = options if options is not None else QuantifyOptions()
+        self.partial = partial
+        self.growth_factor = growth_factor
+        self._sweeper: SatSweeper | None = (
+            SatSweeper(self.aig) if share_solver else None
+        )
+        self._next_functions = netlist.next_functions()
+        self._placeholders: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pre-image
+    # ------------------------------------------------------------------ #
+
+    def preimage(self, state_set: int) -> ImageResult:
+        """States with *some constrained* input leading into ``state_set``.
+
+        In-lining first (cost: one compose), then input quantification.
+        Environment constraints are conjoined before quantifying, so the
+        result is ``exists i . C(s, i) AND S(delta(s, i))``.
+        """
+        composed = preimage_by_substitution(
+            self.aig, state_set, self._next_functions
+        )
+        composed = self.aig.and_(composed, self.netlist.constraint_edge())
+        input_nodes = [
+            node
+            for node in self.netlist.input_nodes
+            if node in support(self.aig, composed)
+        ]
+        return self._quantify(composed, input_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Post-image
+    # ------------------------------------------------------------------ #
+
+    def _next_placeholders(self) -> dict[int, int]:
+        if self._placeholders is None:
+            self._placeholders = {}
+            for latch in self.netlist.latches:
+                edge = self.aig.add_input(f"next_{latch.name}")
+                self._placeholders[latch.node] = edge >> 1
+        return self._placeholders
+
+    def postimage(self, state_set: int) -> ImageResult:
+        """States reachable from ``state_set`` in one step.
+
+        Relational product: ``exists s, i . S(s) AND AND_k (y_k == delta_k)``
+        followed by renaming y back to the state variables.
+        """
+        placeholders = self._next_placeholders()
+        constraints = [
+            xnor(self.aig, 2 * placeholders[node], fn)
+            for node, fn in self._next_functions.items()
+        ]
+        constraints.append(self.netlist.constraint_edge())
+        product = self.aig.and_(state_set, and_all(self.aig, constraints))
+        to_quantify = [
+            node
+            for node in (
+                self.netlist.latch_nodes + self.netlist.input_nodes
+            )
+            if node in support(self.aig, product)
+        ]
+        result = self._quantify(product, to_quantify)
+        renamed = compose(
+            self.aig,
+            result.edge,
+            {y: 2 * node for node, y in placeholders.items()},
+        )
+        return ImageResult(
+            edge=renamed,
+            quantified=result.quantified,
+            residual=result.residual,
+            stats=result.stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared quantification entry
+    # ------------------------------------------------------------------ #
+
+    def _quantify(self, edge: int, variables: list[int]) -> ImageResult:
+        if self.partial:
+            quantifier = PartialQuantifier(
+                self.aig,
+                options=self.options,
+                growth_factor=self.growth_factor,
+                sweeper=self._sweeper,
+            )
+            outcome: PartialOutcome = quantifier.quantify(edge, variables)
+            return ImageResult(
+                edge=outcome.edge,
+                quantified=outcome.quantified,
+                residual=outcome.aborted,
+                stats=outcome.stats,
+            )
+        full = quantify_exists(
+            self.aig, edge, variables, self.options, sweeper=self._sweeper
+        )
+        return ImageResult(
+            edge=full.edge,
+            quantified=full.quantified,
+            residual=[],
+            stats=full.stats,
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro library.
+
+Every package raises subclasses of :class:`ReproError` so that callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SatError(ReproError):
+    """Raised for malformed CNF input or misuse of a SAT solver."""
+
+
+class AigError(ReproError):
+    """Raised for invalid AIG construction or manipulation."""
+
+
+class BddError(ReproError):
+    """Raised for invalid BDD operations."""
+
+
+class BddLimitExceeded(BddError):
+    """Raised when a BDD operation exceeds its configured node budget.
+
+    BDD sweeping uses this to abandon a node and insert a cut point instead
+    of letting the canonical representation blow up.
+    """
+
+
+class NetlistError(ReproError):
+    """Raised for ill-formed sequential netlists."""
+
+
+class QuantificationAborted(ReproError):
+    """Raised when partial quantification aborts a too-expensive variable.
+
+    Section 4 of the paper: "it accepts effective quantification and aborts
+    the expensive ones (in term of size)".  Callers that combine circuit
+    quantification with SAT-based methods catch this and leave the variable
+    to the downstream engine.
+    """
+
+    def __init__(self, variable: int, size_before: int, size_after: int) -> None:
+        super().__init__(
+            f"quantification of variable {variable} aborted: "
+            f"size {size_before} -> {size_after} exceeds threshold"
+        )
+        self.variable = variable
+        self.size_before = size_before
+        self.size_after = size_after
+
+
+class ModelCheckingError(ReproError):
+    """Raised when a model-checking engine is configured inconsistently."""
+
+
+class ResourceLimit(ReproError):
+    """Raised when an engine exceeds a user-supplied resource budget."""

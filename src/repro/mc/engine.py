@@ -1,0 +1,93 @@
+"""Unified verification front-end.
+
+``verify(netlist, method=...)`` dispatches to every engine in the package
+with one calling convention, which is what the examples and the benchmark
+harness use.  Counterexample traces are validated by replay before being
+returned — an engine producing a bogus trace is a bug, not a result.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Netlist
+from repro.errors import ModelCheckingError
+from repro.mc.bmc import bmc
+from repro.mc.induction import k_induction
+from repro.mc.reach_aig import BackwardReachability, ReachOptions
+from repro.mc.reach_aig_fwd import ForwardReachability, ForwardReachOptions
+from repro.mc.reach_bdd import bdd_backward_reachability, bdd_forward_reachability
+from repro.mc.result import Status, VerificationResult
+
+_METHODS = (
+    "reach_aig",
+    "reach_aig_fwd",
+    "reach_aig_allsat",
+    "reach_aig_hybrid",
+    "reach_bdd",
+    "reach_bdd_fwd",
+    "bmc",
+    "k_induction",
+)
+
+
+def verify(
+    netlist: Netlist,
+    method: str = "reach_aig",
+    max_depth: int = 100,
+    **options: object,
+) -> VerificationResult:
+    """Run one verification engine on a netlist.
+
+    ``max_depth`` bounds BMC depth / induction k / traversal iterations.
+    Extra keyword options are forwarded to the engine.  Traces of FAILED
+    results are replay-validated.
+    """
+    if method not in _METHODS:
+        raise ModelCheckingError(
+            f"unknown method {method!r}; choose from {_METHODS}"
+        )
+    if method == "reach_aig":
+        reach_options = options.pop("options", None) or ReachOptions(
+            max_iterations=max_depth, **options
+        )
+        result = BackwardReachability(netlist, reach_options).run()
+    elif method == "reach_aig_fwd":
+        fwd_options = options.pop("options", None) or ForwardReachOptions(
+            max_iterations=max_depth, **options
+        )
+        result = ForwardReachability(netlist, fwd_options).run()
+    elif method == "reach_aig_allsat":
+        result = BackwardReachability(
+            netlist,
+            ReachOptions(
+                max_iterations=max_depth,
+                input_elimination="allsat",
+                **options,
+            ),
+        ).run()
+    elif method == "reach_aig_hybrid":
+        result = BackwardReachability(
+            netlist,
+            ReachOptions(
+                max_iterations=max_depth,
+                input_elimination="hybrid",
+                **options,
+            ),
+        ).run()
+    elif method == "reach_bdd":
+        result = bdd_backward_reachability(
+            netlist, max_iterations=max_depth, **options
+        )
+    elif method == "reach_bdd_fwd":
+        result = bdd_forward_reachability(
+            netlist, max_iterations=max_depth, **options
+        )
+    elif method == "bmc":
+        result = bmc(netlist, max_depth=max_depth, **options)
+    else:
+        result = k_induction(netlist, max_k=max_depth, **options)
+    if result.status is Status.FAILED and result.trace is not None:
+        if not result.trace.validate(netlist):
+            raise ModelCheckingError(
+                f"{method} produced an invalid counterexample trace"
+            )
+    return result

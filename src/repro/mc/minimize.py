@@ -1,0 +1,118 @@
+"""Counterexample minimization: which trace inputs actually matter?
+
+Engines return *some* satisfying assignment per step, so traces are full
+of incidental input values.  For debugging, the useful artifact is the
+care set: the inputs whose values are necessary for the violation.  This
+module computes it by single-flip analysis — flip one input of one step,
+replay the whole trace, and call the input a don't-care when the
+violation (and every environment constraint) survives.
+
+The relaxed trace re-simulates with every don't-care input canonicalized
+to 0, which also canonicalizes the *states* along the way; it is
+re-validated before being returned, so it is always a real
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Netlist
+from repro.errors import ModelCheckingError
+from repro.mc.result import Trace
+
+
+@dataclass
+class MinimizedTrace:
+    """A trace plus its per-step input care sets."""
+
+    trace: Trace                    # the relaxed (canonicalized) trace
+    care: list[dict[int, bool]]     # step -> input node -> matters?
+    violation_care: dict[int, bool]
+
+    @property
+    def care_count(self) -> int:
+        total = sum(
+            sum(1 for matters in step.values() if matters)
+            for step in self.care
+        )
+        return total + sum(
+            1 for matters in self.violation_care.values() if matters
+        )
+
+    @property
+    def total_inputs(self) -> int:
+        total = sum(len(step) for step in self.care)
+        return total + len(self.violation_care)
+
+    @property
+    def care_ratio(self) -> float:
+        if self.total_inputs == 0:
+            return 0.0
+        return self.care_count / self.total_inputs
+
+
+def _still_violates(
+    netlist: Netlist,
+    inputs: list[dict[int, bool]],
+    violation_inputs: dict[int, bool] | None,
+) -> bool:
+    """Replay from init under the given inputs; is it a legal violation?"""
+    current = netlist.init_assignment()
+    for step_inputs in inputs:
+        if not netlist.constraints_hold(current, step_inputs):
+            return False
+        current = netlist.simulate_step(current, step_inputs)
+    if violation_inputs is not None and not netlist.constraints_hold(
+        current, violation_inputs
+    ):
+        return False
+    return not netlist.property_holds(current, violation_inputs)
+
+
+def minimize_trace(netlist: Netlist, trace: Trace) -> MinimizedTrace:
+    """Single-flip don't-care analysis of a counterexample.
+
+    Raises :class:`~repro.errors.ModelCheckingError` when the given trace
+    does not validate in the first place.
+    """
+    if not trace.validate(netlist):
+        raise ModelCheckingError("cannot minimize an invalid trace")
+    inputs = [dict(step) for step in trace.inputs]
+    violation = (
+        dict(trace.violation_inputs)
+        if trace.violation_inputs is not None
+        else None
+    )
+    care: list[dict[int, bool]] = []
+    for step_index, step_inputs in enumerate(inputs):
+        step_care: dict[int, bool] = {}
+        for node in step_inputs:
+            flipped = [dict(step) for step in inputs]
+            flipped[step_index][node] = not flipped[step_index][node]
+            matters = not _still_violates(netlist, flipped, violation)
+            step_care[node] = matters
+            if not matters:
+                # Canonicalize immediately so later flips are judged
+                # against the relaxed prefix (keeps the result consistent).
+                inputs[step_index][node] = False
+        care.append(step_care)
+    violation_care: dict[int, bool] = {}
+    if violation is not None:
+        for node in violation:
+            flipped = dict(violation)
+            flipped[node] = not flipped[node]
+            matters = not _still_violates(netlist, inputs, flipped)
+            violation_care[node] = matters
+            if not matters:
+                violation[node] = False
+    # Rebuild the relaxed state sequence and re-validate.
+    states = [netlist.init_assignment()]
+    for step_inputs in inputs:
+        states.append(netlist.simulate_step(states[-1], step_inputs))
+    relaxed = Trace(states=states, inputs=inputs, violation_inputs=violation)
+    if not relaxed.validate(netlist):  # pragma: no cover - safety net
+        raise ModelCheckingError("minimization produced an invalid trace")
+    return MinimizedTrace(
+        trace=relaxed, care=care, violation_care=violation_care
+    )

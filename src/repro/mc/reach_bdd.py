@@ -1,0 +1,340 @@
+"""BDD-based reachability — the canonical-representation baseline.
+
+This is "traditional methodology" the paper positions itself against:
+identical breadth-first traversals, but with state sets as ROBDDs.
+Backward traversal mirrors :mod:`repro.mc.reach_aig` (pre-image via vector
+composition of the next-state functions, then input quantification);
+forward traversal builds the relational product with next-state variables.
+BDD peak sizes are reported so experiment T4 can contrast them with the
+AIG engine's circuit sizes.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.from_aig import aig_to_bdd
+from repro.bdd.manager import BDD_FALSE, BddManager
+from repro.circuits.netlist import Netlist
+from repro.errors import BddLimitExceeded, ModelCheckingError
+from repro.mc.result import Status, Trace, VerificationResult
+from repro.util.stats import StatsBag
+
+
+class _BddModel:
+    """Netlist lifted into a BDD manager.
+
+    Variable order: latches first (interleaving-friendly creation order),
+    then primary inputs, then next-state placeholders for forward images.
+    """
+
+    def __init__(self, netlist: Netlist, max_nodes: int | None) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.manager = BddManager(max_nodes=max_nodes)
+        self.var_of_node: dict[int, int] = {}
+        for node in netlist.latch_nodes:
+            self.var_of_node[node] = len(self.var_of_node)
+            self.manager.new_var(f"s{node}")
+        for node in netlist.input_nodes:
+            self.var_of_node[node] = len(self.var_of_node)
+            self.manager.new_var(f"i{node}")
+        self.next_var_of_latch: dict[int, int] = {}
+        for node in netlist.latch_nodes:
+            self.next_var_of_latch[node] = len(self.var_of_node) + len(
+                self.next_var_of_latch
+            )
+            self.manager.new_var(f"n{node}")
+        cache: dict[int, int] = {}
+        self.delta = {
+            node: aig_to_bdd(
+                netlist.aig, fn, self.manager, self.var_of_node, cache
+            )
+            for node, fn in netlist.next_functions().items()
+        }
+        self.input_vars = [self.var_of_node[n] for n in netlist.input_nodes]
+        self.state_vars = [self.var_of_node[n] for n in netlist.latch_nodes]
+        # Environment constraints gate transitions and violations alike.
+        self.constraint = aig_to_bdd(
+            netlist.aig,
+            netlist.constraint_edge(),
+            self.manager,
+            self.var_of_node,
+            cache,
+        )
+        # bad_raw may read inputs; bad is the pure-state projection
+        # (only constraint-satisfying input patterns count).
+        self.bad_raw = self.manager.and_(
+            aig_to_bdd(
+                netlist.aig,
+                netlist.property_edge ^ 1,
+                self.manager,
+                self.var_of_node,
+                cache,
+            ),
+            self.constraint,
+        )
+        self.bad = self.manager.exists(self.bad_raw, self.input_vars)
+        self.init = self.manager.cube(
+            {
+                self.var_of_node[node]: value
+                for node, value in netlist.init_assignment().items()
+            }
+        )
+
+    def preimage(self, state_set: int) -> int:
+        """exists i . C(s, i) AND S(delta(s, i)) by composition."""
+        composed = self.manager.compose(
+            state_set,
+            {self.var_of_node[node]: fn for node, fn in self.delta.items()},
+        )
+        composed = self.manager.and_(composed, self.constraint)
+        return self.manager.exists(composed, self.input_vars)
+
+    def preimage_into(self, layer: int, state: dict[int, bool]) -> int:
+        """BDD over the input variables: choices taking ``state`` into layer."""
+        composed = self.manager.compose(
+            layer,
+            {self.var_of_node[node]: fn for node, fn in self.delta.items()},
+        )
+        composed = self.manager.and_(composed, self.constraint)
+        for node, value in state.items():
+            composed = self.manager.restrict(
+                composed, self.var_of_node[node], value
+            )
+        return composed
+
+    def postimage(self, state_set: int) -> int:
+        """Relational image with next-state variables, then rename back."""
+        manager = self.manager
+        product = manager.and_(state_set, self.constraint)
+        for node, fn in self.delta.items():
+            product = manager.and_(
+                product,
+                manager.xnor(manager.var_node(self.next_var_of_latch[node]), fn),
+            )
+        product = manager.exists(product, self.state_vars + self.input_vars)
+        return manager.rename(
+            product,
+            {
+                self.next_var_of_latch[node]: self.var_of_node[node]
+                for node in self.delta
+            },
+        )
+
+
+def _state_from_cube(
+    model: _BddModel, cube: dict[int, bool]
+) -> dict[int, bool]:
+    return {
+        node: cube.get(model.var_of_node[node], False)
+        for node in model.netlist.latch_nodes
+    }
+
+
+def bdd_backward_reachability(
+    netlist: Netlist,
+    max_iterations: int = 10_000,
+    max_nodes: int | None = None,
+) -> VerificationResult:
+    """Backward BDD traversal; same verdict contract as the AIG engine.
+
+    Raises :class:`~repro.errors.BddLimitExceeded` when ``max_nodes`` is
+    exceeded — the memory-explosion outcome the paper's method avoids.
+    """
+    stats = StatsBag()
+    model = _BddModel(netlist, max_nodes)
+    manager = model.manager
+    layers = [model.bad]
+    reached = model.bad
+    frontier = model.bad
+    iteration = 0
+    if manager.and_(model.init, model.bad) != BDD_FALSE:
+        return _bdd_counterexample(model, layers, stats, iteration)
+    while iteration < max_iterations:
+        iteration += 1
+        preimage = model.preimage(frontier)
+        new_frontier = manager.and_(preimage, manager.not_(reached))
+        stats.max("peak_frontier_bdd", manager.size(new_frontier))
+        stats.max("peak_reached_bdd", manager.size(reached))
+        stats.set("manager_nodes", manager.num_nodes)
+        if new_frontier == BDD_FALSE:
+            stats.set("iterations", iteration)
+            return VerificationResult(
+                status=Status.PROVED,
+                engine="reach_bdd",
+                iterations=iteration,
+                stats=stats,
+            )
+        layers.append(new_frontier)
+        reached = manager.or_(reached, new_frontier)
+        frontier = new_frontier
+        if manager.and_(model.init, new_frontier) != BDD_FALSE:
+            stats.set("iterations", iteration)
+            return _bdd_counterexample(model, layers, stats, iteration)
+    return VerificationResult(
+        status=Status.UNKNOWN,
+        engine="reach_bdd",
+        iterations=max_iterations,
+        stats=stats,
+    )
+
+
+def _bdd_counterexample(
+    model: _BddModel,
+    layers: list[int],
+    stats: StatsBag,
+    iterations: int,
+) -> VerificationResult:
+    """Replay from init through the distance layers, choosing inputs."""
+    manager = model.manager
+    netlist = model.netlist
+    state = dict(netlist.init_assignment())
+    states = [dict(state)]
+    inputs: list[dict[int, bool]] = []
+    # Find the deepest layer containing init = distance to violation.
+    containing = [
+        k
+        for k, layer in enumerate(layers)
+        if manager.evaluate(
+            layer, {model.var_of_node[n]: v for n, v in state.items()}
+        )
+    ]
+    if not containing:
+        raise ModelCheckingError("init not in any layer (engine bug)")
+    distance = min(containing)
+    for layer_index in range(distance - 1, -1, -1):
+        # Choose inputs steering into the next layer: satisfy
+        # layer(delta(s, i)) with s fixed.
+        target = model.preimage_into(layers[layer_index], state)
+        cube = manager.pick_cube(target)
+        if cube is None:
+            raise ModelCheckingError("trace reconstruction failed")
+        step_inputs = {
+            node: cube.get(model.var_of_node[node], False)
+            for node in netlist.input_nodes
+        }
+        inputs.append(step_inputs)
+        state = netlist.simulate_step(state, step_inputs)
+        states.append(dict(state))
+    # Witness inputs for an input-reading property in the final state.
+    restricted = model.bad_raw
+    for node, value in state.items():
+        restricted = manager.restrict(
+            restricted, model.var_of_node[node], value
+        )
+    witness_cube = manager.pick_cube(restricted)
+    violation = None
+    if witness_cube is not None:
+        violation = {
+            node: witness_cube.get(model.var_of_node[node], False)
+            for node in netlist.input_nodes
+        }
+    return VerificationResult(
+        status=Status.FAILED,
+        engine="reach_bdd",
+        trace=Trace(
+            states=states, inputs=inputs, violation_inputs=violation
+        ),
+        iterations=iterations,
+        stats=stats,
+    )
+
+
+def bdd_forward_reachability(
+    netlist: Netlist,
+    max_iterations: int = 10_000,
+    max_nodes: int | None = None,
+) -> VerificationResult:
+    """Forward BDD traversal with onion-ring trace reconstruction."""
+    stats = StatsBag()
+    model = _BddModel(netlist, max_nodes)
+    manager = model.manager
+    rings = [model.init]
+    reached = model.init
+    frontier = model.init
+    iteration = 0
+    if manager.and_(frontier, model.bad) != BDD_FALSE:
+        return _bdd_forward_counterexample(model, rings, stats)
+    while iteration < max_iterations:
+        iteration += 1
+        image = model.postimage(frontier)
+        new_frontier = manager.and_(image, manager.not_(reached))
+        stats.max("peak_frontier_bdd", manager.size(new_frontier))
+        stats.max("peak_reached_bdd", manager.size(reached))
+        if new_frontier == BDD_FALSE:
+            stats.set("iterations", iteration)
+            return VerificationResult(
+                status=Status.PROVED,
+                engine="reach_bdd_fwd",
+                iterations=iteration,
+                stats=stats,
+            )
+        rings.append(new_frontier)
+        reached = manager.or_(reached, new_frontier)
+        frontier = new_frontier
+        if manager.and_(new_frontier, model.bad) != BDD_FALSE:
+            stats.set("iterations", iteration)
+            return _bdd_forward_counterexample(model, rings, stats)
+    return VerificationResult(
+        status=Status.UNKNOWN,
+        engine="reach_bdd_fwd",
+        iterations=max_iterations,
+        stats=stats,
+    )
+
+
+def _bdd_forward_counterexample(
+    model: _BddModel,
+    rings: list[int],
+    stats: StatsBag,
+) -> VerificationResult:
+    """Pick a bad state in the last ring, walk predecessors back to init."""
+    manager = model.manager
+    netlist = model.netlist
+    bad_cube = manager.pick_cube(manager.and_(rings[-1], model.bad))
+    if bad_cube is None:
+        raise ModelCheckingError("bad ring is empty (engine bug)")
+    states = [_state_from_cube(model, bad_cube)]
+    inputs: list[dict[int, bool]] = []
+    for ring_index in range(len(rings) - 2, -1, -1):
+        # Predecessors in the previous ring: ring(s) AND C(s, i) AND
+        # delta(s, i) == target, solved by one cube pick.
+        target = states[0]
+        predecessors = manager.and_(rings[ring_index], model.constraint)
+        for node, fn in model.delta.items():
+            literal = fn if target[node] else manager.not_(fn)
+            predecessors = manager.and_(predecessors, literal)
+        cube = manager.pick_cube(predecessors)
+        if cube is None:
+            raise ModelCheckingError(
+                "onion-ring state has no predecessor (engine bug)"
+            )
+        states.insert(0, _state_from_cube(model, cube))
+        inputs.insert(
+            0,
+            {
+                node: cube.get(model.var_of_node[node], False)
+                for node in netlist.input_nodes
+            },
+        )
+    # Witness inputs for an input-reading property in the final state.
+    restricted = model.bad_raw
+    for node, value in states[-1].items():
+        restricted = manager.restrict(
+            restricted, model.var_of_node[node], value
+        )
+    witness_cube = manager.pick_cube(restricted)
+    violation = None
+    if witness_cube is not None:
+        violation = {
+            node: witness_cube.get(model.var_of_node[node], False)
+            for node in netlist.input_nodes
+        }
+    return VerificationResult(
+        status=Status.FAILED,
+        engine="reach_bdd_fwd",
+        trace=Trace(
+            states=states, inputs=inputs, violation_inputs=violation
+        ),
+        iterations=len(rings) - 1,
+        stats=stats,
+    )

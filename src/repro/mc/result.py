@@ -1,0 +1,93 @@
+"""Verification outcomes shared by every engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.util.stats import StatsBag
+
+
+class Status(enum.Enum):
+    """Verdict of a verification run."""
+
+    PROVED = "proved"          # the invariant holds in all reachable states
+    FAILED = "failed"          # a counterexample trace exists
+    UNKNOWN = "unknown"        # resource limit / incomplete method
+
+    def __bool__(self) -> bool:
+        return self is Status.PROVED
+
+
+@dataclass
+class Trace:
+    """A concrete counterexample: states and the inputs between them.
+
+    ``states[0]`` is the initial state; ``states[-1]`` violates the
+    property.  ``inputs[k]`` drives the transition from ``states[k]`` to
+    ``states[k+1]`` (so ``len(inputs) == len(states) - 1``).  When the
+    property reads primary inputs (e.g. an arbiter judged on its request
+    lines), ``violation_inputs`` carries the input vector that exhibits
+    the violation in the final state.
+    """
+
+    states: list[dict[int, bool]]
+    inputs: list[dict[int, bool]]
+    violation_inputs: dict[int, bool] | None = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.states) - 1
+
+    def validate(self, netlist: Netlist) -> bool:
+        """Replay the trace on the netlist; True iff it is a real violation.
+
+        Besides exact state replay, every step (including the violating
+        one) must satisfy the netlist's environment constraints — a trace
+        using forbidden inputs is not a counterexample.
+        """
+        if len(self.inputs) != len(self.states) - 1:
+            return False
+        init = netlist.init_assignment()
+        if any(self.states[0].get(n) != v for n, v in init.items()):
+            return False
+        current = dict(self.states[0])
+        for step_inputs, claimed in zip(self.inputs, self.states[1:]):
+            if not netlist.constraints_hold(current, step_inputs):
+                return False
+            current = netlist.simulate_step(current, step_inputs)
+            if any(current.get(n) != claimed.get(n) for n in current):
+                return False
+        if self.violation_inputs is not None and not netlist.constraints_hold(
+            self.states[-1], self.violation_inputs
+        ):
+            return False
+        return not netlist.property_holds(
+            self.states[-1], self.violation_inputs
+        )
+
+
+@dataclass
+class VerificationResult:
+    """What an engine reports back."""
+
+    status: Status
+    engine: str
+    trace: Trace | None = None
+    iterations: int = 0            # traversal steps / BMC depth / k
+    stats: StatsBag = field(default_factory=StatsBag)
+
+    @property
+    def proved(self) -> bool:
+        return self.status is Status.PROVED
+
+    @property
+    def failed(self) -> bool:
+        return self.status is Status.FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VerificationResult({self.status.value}, engine={self.engine}, "
+            f"iterations={self.iterations})"
+        )

@@ -1,0 +1,180 @@
+"""Time-frame expansion of a netlist into one incremental SAT instance.
+
+Used by BMC and k-induction.  Each frame gets fresh solver variables for
+inputs and latches; the combinational logic is Tseitin-encoded per frame
+into the *same* solver, so deeper checks reuse everything learned on the
+shallow ones.
+"""
+
+from __future__ import annotations
+
+from repro.aig.graph import Aig
+from repro.circuits.netlist import Netlist
+from repro.errors import ModelCheckingError
+from repro.sat.solver import Solver
+
+
+class Unroller:
+    """Frame-by-frame CNF encoding of a sequential netlist."""
+
+    def __init__(self, netlist: Netlist, solver: Solver | None = None) -> None:
+        netlist.validate()
+        self.netlist = netlist
+        self.aig: Aig = netlist.aig
+        self.solver = solver if solver is not None else Solver()
+        self._next_functions = netlist.next_functions()
+        # Per-frame: node -> solver literal for latch and input nodes.
+        self._frames: list[dict[int, int]] = []
+        self._const_var: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Frame construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_frames(self) -> int:
+        return len(self._frames)
+
+    def _false_lit(self) -> int:
+        if self._const_var is None:
+            self._const_var = self.solver.new_var()
+            self.solver.add_clause([-self._const_var])
+        return self._const_var
+
+    def _new_frame(self) -> dict[int, int]:
+        frame: dict[int, int] = {}
+        for node in self.netlist.latch_nodes + self.netlist.input_nodes:
+            frame[node] = self.solver.new_var()
+        return frame
+
+    def ensure_frames(self, count: int) -> None:
+        """Encode frames until at least ``count`` exist (frame 0 included).
+
+        Environment constraints of the netlist are asserted as unit
+        clauses in every frame: all paths the solver considers are
+        constraint-satisfying executions.
+        """
+        while len(self._frames) < count:
+            if not self._frames:
+                frame = self._new_frame()
+                self._frames.append(frame)
+                self._assert_constraints(frame)
+                continue
+            previous = self._frames[-1]
+            frame = self._new_frame()
+            # Tie each latch variable of the new frame to the next-state
+            # function evaluated over the previous frame.
+            for latch_node, next_edge in self._next_functions.items():
+                next_lit = self.edge_lit_in(previous, next_edge)
+                latch_lit = frame[latch_node]
+                self.solver.add_clause([-latch_lit, next_lit])
+                self.solver.add_clause([latch_lit, -next_lit])
+            self._frames.append(frame)
+            self._assert_constraints(frame)
+
+    def _assert_constraints(self, frame: dict[int, int]) -> None:
+        for edge in self.netlist.constraints:
+            self.solver.add_clause([self.edge_lit_in(frame, edge)])
+
+    def frame(self, index: int) -> dict[int, int]:
+        self.ensure_frames(index + 1)
+        return self._frames[index]
+
+    # ------------------------------------------------------------------ #
+    # Edge encoding inside a frame
+    # ------------------------------------------------------------------ #
+
+    def edge_lit_in(self, frame: dict[int, int], edge: int) -> int:
+        """Tseitin-encode an AIG edge over one frame's leaf variables.
+
+        Gate encodings are cached inside the frame map (keyed by AND node),
+        so repeated calls share clauses.
+        """
+        node = edge >> 1
+        if node == 0:
+            base = self._false_lit()
+            return -base if edge & 1 else base
+        if node not in frame and not self.aig.is_and(node):
+            raise ModelCheckingError(
+                f"node {node} is not part of this netlist's interface"
+            )
+        for cone_node in self.aig.cone([2 * node]):
+            if cone_node in frame:
+                continue
+            if self.aig.is_input(cone_node):
+                raise ModelCheckingError(
+                    f"input node {cone_node} missing from frame"
+                )
+            f0, f1 = self.aig.fanins(cone_node)
+            a = self._frame_edge_lit(frame, f0)
+            b = self._frame_edge_lit(frame, f1)
+            out = self.solver.new_var()
+            frame[cone_node] = out
+            self.solver.add_clause([-out, a])
+            self.solver.add_clause([-out, b])
+            self.solver.add_clause([out, -a, -b])
+        lit = frame[node]
+        return -lit if edge & 1 else lit
+
+    def _frame_edge_lit(self, frame: dict[int, int], edge: int) -> int:
+        node = edge >> 1
+        if node == 0:
+            base = self._false_lit()
+        else:
+            base = frame[node]
+        return -base if edge & 1 else base
+
+    # ------------------------------------------------------------------ #
+    # Convenience literals
+    # ------------------------------------------------------------------ #
+
+    def latch_lit(self, frame_index: int, latch_node: int) -> int:
+        return self.frame(frame_index)[latch_node]
+
+    def input_lit(self, frame_index: int, input_node: int) -> int:
+        return self.frame(frame_index)[input_node]
+
+    def property_lit(self, frame_index: int) -> int:
+        """Literal of the property edge evaluated at a frame."""
+        frame = self.frame(frame_index)
+        return self.edge_lit_in(frame, self.netlist.property_edge)
+
+    def assert_initial_state(self) -> None:
+        """Pin frame 0's latches to the netlist's initial values."""
+        frame = self.frame(0)
+        for node, value in self.netlist.init_assignment().items():
+            lit = frame[node]
+            self.solver.add_clause([lit if value else -lit])
+
+    def state_distinct_clauses(self, i: int, j: int) -> None:
+        """Add "state_i != state_j" (for unique-path induction)."""
+        frame_i, frame_j = self.frame(i), self.frame(j)
+        difference_lits = []
+        for node in self.netlist.latch_nodes:
+            diff = self.solver.new_var()
+            a, b = frame_i[node], frame_j[node]
+            # diff <-> a XOR b
+            self.solver.add_clause([-diff, a, b])
+            self.solver.add_clause([-diff, -a, -b])
+            self.solver.add_clause([diff, -a, b])
+            self.solver.add_clause([diff, a, -b])
+            difference_lits.append(diff)
+        self.solver.add_clause(difference_lits)
+
+    # ------------------------------------------------------------------ #
+    # Model readback
+    # ------------------------------------------------------------------ #
+
+    def read_state(self, frame_index: int) -> dict[int, bool]:
+        frame = self._frames[frame_index]
+        return {
+            node: self.solver.value(frame[node])
+            for node in self.netlist.latch_nodes
+        }
+
+    def read_inputs(self, frame_index: int) -> dict[int, bool]:
+        frame = self._frames[frame_index]
+        return {
+            node: self.solver.value(frame[node])
+            for node in self.netlist.input_nodes
+        }

@@ -1,0 +1,31 @@
+"""SAT substrate: CNF formulas and solvers.
+
+The paper relies on ZChaff for the SAT-based merge checks of Section 2.1 and
+for all fix-point / intersection tests of the traversal routine (Section 3).
+This package provides the stand-in: a CDCL solver
+(:class:`repro.sat.solver.Solver`) with an assumption-based incremental
+interface so that "several checks [are factorized] together within a single
+run" exactly as the paper describes, a slow reference DPLL solver used as a
+test oracle, and an all-solutions enumerator used by the SAT-based pre-image
+engine.
+"""
+
+from repro.sat.cnf import CNF, Clause, lit_to_dimacs, neg
+from repro.sat.solver import Solver, SolveResult
+from repro.sat.dpll import DpllSolver
+from repro.sat.enumeration import enumerate_models, enumerate_projected_cubes
+from repro.sat.circuit import CircuitSolver, prove_edges_equivalent_circuit
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Solver",
+    "SolveResult",
+    "DpllSolver",
+    "CircuitSolver",
+    "prove_edges_equivalent_circuit",
+    "enumerate_models",
+    "enumerate_projected_cubes",
+    "lit_to_dimacs",
+    "neg",
+]

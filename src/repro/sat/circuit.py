@@ -1,0 +1,392 @@
+"""Circuit-SAT: a justification-based solver operating directly on AIGs.
+
+The paper's merge phase "presently rel[ies] on a general SAT solver, i.e.,
+ZChaff, but we plan to experiment with circuit-SAT in the future".  This
+module is that experiment: instead of Tseitin-encoding cones into CNF, the
+solver branches and propagates on the AIG nodes themselves.
+
+The algorithm is the classic justification-frontier search used by
+circuit-based reasoning engines (Kuehlmann et al. [3]):
+
+* every node carries a three-valued assignment (0 / 1 / unassigned);
+* implication rules local to each AND node propagate values both forward
+  (controlling fanin ``0`` forces the output to ``0``) and backward (an
+  output at ``1`` forces both fanins to ``1``; an output at ``0`` with one
+  satisfied fanin forces the other to ``0``);
+* a node assigned ``0`` whose fanins are both unassigned is *unjustified*
+  — the solver must decide which fanin explains the ``0``.  The set of
+  such nodes is the justification frontier; the search is over (frontier
+  node, branch) choices rather than over CNF variables.
+
+Search is depth-first with chronological backtracking and an optional
+conflict budget, mirroring the structure of circuit-SAT engines of the
+paper's era (before CDCL-style learning migrated into circuit solvers).
+For the factorized merge workflow the solver is persistent: the AIG may
+grow between calls and each :meth:`CircuitSolver.solve` poses a fresh set
+of objectives while reusing the fanout index built so far.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.aig.graph import Aig, edge_not
+from repro.errors import SatError
+from repro.sat.solver import SolveResult
+from repro.util.stats import StatsBag
+
+
+class CircuitSolver:
+    """Justification-frontier SAT search over one AIG manager.
+
+    >>> aig = Aig()
+    >>> a, b = aig.add_input("a"), aig.add_input("b")
+    >>> f = aig.and_(a, b)
+    >>> solver = CircuitSolver(aig)
+    >>> solver.solve([(f, True)])
+    <SolveResult.SAT: 'sat'>
+    >>> solver.model_inputs() == {a >> 1: True, b >> 1: True}
+    True
+    >>> solver.solve([(f, True), (a, False)])
+    <SolveResult.UNSAT: 'unsat'>
+    """
+
+    def __init__(self, aig: Aig, conflict_budget: int | None = None) -> None:
+        self.aig = aig
+        self.conflict_budget = conflict_budget
+        self.stats = StatsBag()
+        # Fanout index: node -> AND nodes that reference it.  Built lazily
+        # and extended on demand, so the AIG may grow between solve calls.
+        self._fanouts: dict[int, list[int]] = {}
+        self._fanouts_built_upto = 0
+        # Per-call state.
+        self._value: dict[int, bool] = {}
+        self._trail: list[int] = []
+        self._model: dict[int, bool] | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fanout index
+    # ------------------------------------------------------------------ #
+
+    def _extend_fanouts(self) -> None:
+        aig = self.aig
+        for node in range(self._fanouts_built_upto, aig.num_nodes):
+            if not aig.is_and(node):
+                continue
+            f0, f1 = aig.fanins(node)
+            self._fanouts.setdefault(f0 >> 1, []).append(node)
+            if (f1 >> 1) != (f0 >> 1):
+                self._fanouts.setdefault(f1 >> 1, []).append(node)
+        self._fanouts_built_upto = aig.num_nodes
+
+    # ------------------------------------------------------------------ #
+    # Three-valued helpers
+    # ------------------------------------------------------------------ #
+
+    def _edge_value(self, edge: int) -> bool | None:
+        node = edge >> 1
+        if node == 0:
+            return bool(edge & 1)
+        value = self._value.get(node)
+        if value is None:
+            return None
+        return value ^ bool(edge & 1)
+
+    def _assign_edge(self, edge: int, value: bool, queue: list[int]) -> bool:
+        """Set ``edge`` to ``value``; False signals a conflict."""
+        node = edge >> 1
+        want = value ^ bool(edge & 1)
+        if node == 0:
+            return want is False  # constant node is FALSE
+        current = self._value.get(node)
+        if current is not None:
+            return current == want
+        self._value[node] = want
+        self._trail.append(node)
+        queue.append(node)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self, queue: list[int]) -> bool:
+        """Run implication rules to fixpoint; False signals a conflict."""
+        aig = self.aig
+        while queue:
+            node = queue.pop()
+            touched = [node]
+            touched.extend(self._fanouts.get(node, ()))
+            for and_node in touched:
+                if not aig.is_and(and_node):
+                    continue
+                if not self._imply_and(and_node, queue):
+                    return False
+        return True
+
+    def _imply_and(self, node: int, queue: list[int]) -> bool:
+        """Apply all local implication rules of one AND node."""
+        f0, f1 = self.aig.fanins(node)
+        out = self._value.get(node)
+        v0 = self._edge_value(f0)
+        v1 = self._edge_value(f1)
+        # Forward rules.
+        if v0 is False or v1 is False:
+            if out is None:
+                return self._assign_edge(2 * node, False, queue)
+            return out is False
+        if v0 is True and v1 is True:
+            if out is None:
+                return self._assign_edge(2 * node, True, queue)
+            return out is True
+        # Backward rules.
+        if out is True:
+            if v0 is None and not self._assign_edge(f0, True, queue):
+                return False
+            if v1 is None and not self._assign_edge(f1, True, queue):
+                return False
+            return True
+        if out is False:
+            # One satisfied fanin forces the other to 0.
+            if v0 is True and v1 is None:
+                return self._assign_edge(f1, False, queue)
+            if v1 is True and v0 is None:
+                return self._assign_edge(f0, False, queue)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Justification frontier
+    # ------------------------------------------------------------------ #
+
+    def _find_unjustified(self, cone_order: Sequence[int]) -> int | None:
+        """An assigned-0 AND node with both fanins still free, if any.
+
+        ``cone_order`` is scanned from the outputs down (reverse topological
+        order) so decisions stay close to the objectives — the circuit-SAT
+        analogue of the paper's "few checks on the output region".
+        """
+        for node in cone_order:
+            if self._value.get(node) is not False:
+                continue
+            if not self.aig.is_and(node):
+                continue
+            f0, f1 = self.aig.fanins(node)
+            if self._edge_value(f0) is None and self._edge_value(f1) is None:
+                return node
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Public interface
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self,
+        objectives: Iterable[tuple[int, bool]],
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        """Search for an input assignment meeting all ``(edge, value)`` goals.
+
+        Returns :data:`SolveResult.SAT` (model available through
+        :meth:`model_inputs`), :data:`SolveResult.UNSAT`, or
+        :data:`SolveResult.UNKNOWN` when the conflict budget runs out.
+        """
+        objectives = list(objectives)
+        budget = (
+            conflict_budget if conflict_budget is not None
+            else self.conflict_budget
+        )
+        self._extend_fanouts()
+        self._value = {}
+        self._trail = []
+        self._model = None
+        self.stats.incr("solve_calls")
+
+        queue: list[int] = []
+        for edge, value in objectives:
+            if not self._assign_edge(edge, value, queue):
+                return SolveResult.UNSAT
+        if not self._propagate(queue):
+            return SolveResult.UNSAT
+
+        cone_order = list(
+            reversed(self.aig.cone([edge for edge, _ in objectives]))
+        )
+        # Each frame: (trail length, frontier node, branches left to try).
+        stack: list[tuple[int, int, list[int]]] = []
+        conflicts = 0
+        while True:
+            node = self._find_unjustified(cone_order)
+            if node is None:
+                self._model = self._extract_model(objectives)
+                return SolveResult.SAT
+            f0, f1 = self.aig.fanins(node)
+            stack.append((len(self._trail), node, [f1]))
+            if not self._try_branch(f0):
+                while True:
+                    conflicts += 1
+                    self.stats.incr("conflicts")
+                    if budget is not None and conflicts >= budget:
+                        return SolveResult.UNKNOWN
+                    if not stack:
+                        return SolveResult.UNSAT
+                    mark, node, alternatives = stack[-1]
+                    self._undo_to(mark)
+                    if not alternatives:
+                        stack.pop()
+                        continue
+                    branch = alternatives.pop()
+                    if self._try_branch(branch):
+                        break
+
+    def _try_branch(self, edge_at_zero: int) -> bool:
+        """Decide that ``edge_at_zero`` is 0, justifying an output-0 node."""
+        self.stats.incr("decisions")
+        queue: list[int] = []
+        if not self._assign_edge(edge_at_zero, False, queue):
+            return False
+        return self._propagate(queue)
+
+    def _undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            self._value.pop(self._trail.pop(), None)
+
+    def _extract_model(
+        self, objectives: Sequence[tuple[int, bool]]
+    ) -> dict[int, bool]:
+        """Input assignment from the current (fully justified) state.
+
+        Unassigned inputs are don't-cares; they default to False so the
+        model is total over the objective cones.
+        """
+        model: dict[int, bool] = {}
+        for node in self.aig.cone([edge for edge, _ in objectives]):
+            if self.aig.is_input(node):
+                model[node] = self._value.get(node, False)
+        return model
+
+    def model_inputs(self) -> dict[int, bool]:
+        """The satisfying input assignment of the last SAT solve call."""
+        if self._model is None:
+            raise SatError("no model available (last solve was not SAT)")
+        return dict(self._model)
+
+    # ------------------------------------------------------------------ #
+    # Equivalence checking on top of the raw search
+    # ------------------------------------------------------------------ #
+
+    def check_equal(
+        self, a: int, b: int, conflict_budget: int | None = None
+    ) -> bool | None:
+        """Is ``a == b`` for all inputs?  True / False / None (budget out).
+
+        Posed as two miter-free searches (``a=1,b=0`` and ``a=0,b=1``) so no
+        XOR nodes are added to the managed AIG — the solver never grows the
+        circuit it is reasoning about.
+        """
+        if a == b:
+            return True
+        if a == edge_not(b):
+            return False
+        self.stats.incr("equal_checks")
+        first = self.solve([(a, True), (b, False)], conflict_budget)
+        if first is SolveResult.SAT:
+            return False
+        second = self.solve([(a, False), (b, True)], conflict_budget)
+        if second is SolveResult.SAT:
+            return False
+        if first is SolveResult.UNSAT and second is SolveResult.UNSAT:
+            return True
+        return None
+
+    def check_constant(
+        self, edge: int, value: bool, conflict_budget: int | None = None
+    ) -> bool | None:
+        """Is ``edge`` constantly ``value``?  True / False / None."""
+        result = self.solve([(edge, not value)], conflict_budget)
+        if result is SolveResult.UNSAT:
+            return True
+        if result is SolveResult.SAT:
+            return False
+        return None
+
+
+def solve_edge(
+    aig: Aig,
+    edge: int,
+    value: bool = True,
+    conflict_budget: int | None = None,
+) -> tuple[SolveResult, dict[int, bool] | None]:
+    """One-shot satisfiability of ``edge == value`` with the circuit solver.
+
+    Returns ``(result, model)`` where ``model`` maps input nodes to values
+    on SAT and is ``None`` otherwise.
+    """
+    solver = CircuitSolver(aig)
+    result = solver.solve([(edge, value)], conflict_budget)
+    model = solver.model_inputs() if result is SolveResult.SAT else None
+    return result, model
+
+
+def prove_edges_equivalent_circuit(
+    aig: Aig,
+    a: int,
+    b: int,
+    conflict_budget: int | None = None,
+) -> tuple[bool | None, dict[int, bool] | None]:
+    """Circuit-SAT twin of :func:`repro.sweep.satsweep.prove_edges_equivalent`.
+
+    Same contract: ``(verdict, counterexample)`` with verdict ``True``
+    (equal), ``False`` (different, with a distinguishing assignment) or
+    ``None`` (budget exhausted).
+    """
+    solver = CircuitSolver(aig)
+    if a == b:
+        return True, None
+    if a == edge_not(b):
+        result = solver.solve([(a, True)], conflict_budget)
+        if result is SolveResult.SAT:
+            return False, solver.model_inputs()
+        result = solver.solve([(a, False)], conflict_budget)
+        if result is SolveResult.SAT:
+            return False, solver.model_inputs()
+        return None, None  # pragma: no cover - complement pair always differs
+    first = solver.solve([(a, True), (b, False)], conflict_budget)
+    if first is SolveResult.SAT:
+        return False, solver.model_inputs()
+    second = solver.solve([(a, False), (b, True)], conflict_budget)
+    if second is SolveResult.SAT:
+        return False, solver.model_inputs()
+    if first is SolveResult.UNSAT and second is SolveResult.UNSAT:
+        return True, None
+    return None, None
+
+
+def enumerate_satisfying_assignments(
+    aig: Aig,
+    edge: int,
+    input_nodes: Sequence[int],
+    limit: int | None = None,
+) -> list[dict[int, bool]]:
+    """All total assignments of ``input_nodes`` satisfying ``edge``.
+
+    A testing aid (exhaustive over the given inputs, so keep them few):
+    each model from the circuit solver is expanded over its don't-care
+    inputs and blocked via explicit enumeration.
+    """
+    if len(input_nodes) > 20:
+        raise SatError(
+            "enumerate_satisfying_assignments supports at most 20 inputs"
+        )
+    from repro.aig.simulate import eval_edge
+
+    models: list[dict[int, bool]] = []
+    for bits in range(1 << len(input_nodes)):
+        assignment = {
+            node: bool((bits >> k) & 1)
+            for k, node in enumerate(input_nodes)
+        }
+        if eval_edge(aig, edge, assignment):
+            models.append(assignment)
+            if limit is not None and len(models) >= limit:
+                break
+    return models

@@ -1,0 +1,667 @@
+"""CDCL SAT solver with an incremental, assumption-based interface.
+
+This is the ZChaff stand-in for the paper.  The features the paper's
+SAT-merge routine depends on are all here:
+
+* the clause database is loaded once and *persists across calls* —
+  ``solve`` may be invoked any number of times, and new clauses may be
+  added between calls ("we load the clause database once and for-all");
+* each equivalence check is posed as a set of *assumption* literals, so
+  several checks are factorized within a single solver instance without
+  restarting ("we factorize several checks together within a single
+  ZChaff run");
+* on UNSAT under assumptions, the subset of assumptions actually used is
+  reported (``failed_assumptions``), letting one UNSAT verdict cover many
+  matching points.
+
+Architecture is classic MiniSat-style CDCL: two-literal watches, VSIDS
+decision heuristic with an indexed max-heap, phase saving, first-UIP conflict
+analysis with clause minimization, Luby restarts and LBD-guided learned
+clause database reduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from repro.errors import SatError
+from repro.sat.cnf import CNF
+
+# Internal literal encoding: variable v in [0, n) maps to literals 2*v
+# (positive) and 2*v+1 (negative).  DIMACS literal d maps to
+# 2*(|d|-1) + (d < 0).
+_UNASSIGNED = 2
+
+
+def _to_internal(dimacs_lit: int) -> int:
+    if dimacs_lit == 0:
+        raise SatError("literal 0 is not a valid DIMACS literal")
+    var = abs(dimacs_lit) - 1
+    return 2 * var + (1 if dimacs_lit < 0 else 0)
+
+
+def _to_dimacs(internal_lit: int) -> int:
+    var = (internal_lit >> 1) + 1
+    return -var if internal_lit & 1 else var
+
+
+class SolveResult(enum.Enum):
+    """Outcome of a ``solve`` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:
+        # Convenience: ``if solver.solve():`` means "is satisfiable".
+        return self is SolveResult.SAT
+
+
+class _VarOrder:
+    """Indexed binary max-heap over variable activities (MiniSat's order)."""
+
+    __slots__ = ("activity", "heap", "pos")
+
+    def __init__(self, activity: list[float]) -> None:
+        self.activity = activity
+        self.heap: list[int] = []
+        self.pos: list[int] = []
+
+    def grow(self, nvars: int) -> None:
+        while len(self.pos) < nvars:
+            self.pos.append(-1)
+            self.insert(len(self.pos) - 1)
+
+    def _swap(self, i: int, j: int) -> None:
+        heap, pos = self.heap, self.pos
+        heap[i], heap[j] = heap[j], heap[i]
+        pos[heap[i]] = i
+        pos[heap[j]] = j
+
+    def _sift_up(self, i: int) -> None:
+        heap, act = self.heap, self.activity
+        while i > 0:
+            parent = (i - 1) >> 1
+            if act[heap[i]] > act[heap[parent]]:
+                self._swap(i, parent)
+                i = parent
+            else:
+                break
+
+    def _sift_down(self, i: int) -> None:
+        heap, act = self.heap, self.activity
+        size = len(heap)
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            right = left + 1
+            best = left
+            if right < size and act[heap[right]] > act[heap[left]]:
+                best = right
+            if act[heap[best]] > act[heap[i]]:
+                self._swap(i, best)
+                i = best
+            else:
+                break
+
+    def insert(self, var: int) -> None:
+        if self.pos[var] != -1:
+            return
+        self.heap.append(var)
+        self.pos[var] = len(self.heap) - 1
+        self._sift_up(len(self.heap) - 1)
+
+    def pop_max(self) -> int:
+        heap, pos = self.heap, self.pos
+        top = heap[0]
+        last = heap.pop()
+        pos[top] = -1
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    def bumped(self, var: int) -> None:
+        if self.pos[var] != -1:
+            self._sift_up(self.pos[var])
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
+
+
+def _luby(i: int) -> int:
+    """The i-th element (0-based) of the Luby sequence 1,1,2,1,1,2,4,...
+
+    Classic MiniSat formulation: find the smallest complete binary
+    subsequence containing position ``i`` and recurse into it.
+    """
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) >> 1
+        seq -= 1
+        i = i % size
+    return 1 << seq
+
+
+class Solver:
+    """Incremental CDCL solver over DIMACS-style literals.
+
+    >>> s = Solver()
+    >>> a, b = s.new_var(), s.new_var()
+    >>> s.add_clause([a, b])
+    >>> s.add_clause([-a, b])
+    >>> s.solve()
+    <SolveResult.SAT: 'sat'>
+    >>> s.value(b)
+    True
+    >>> s.solve(assumptions=[-b])
+    <SolveResult.UNSAT: 'unsat'>
+    >>> s.solve()          # the database is untouched by assumptions
+    <SolveResult.SAT: 'sat'>
+    """
+
+    def __init__(self, cnf: CNF | None = None) -> None:
+        self._nvars = 0
+        # Per-variable state.
+        self._values = bytearray()        # _UNASSIGNED / 1 (true) / 0 (false)
+        self._levels: list[int] = []
+        self._reasons: list[int] = []     # clause index or -1
+        self._activity: list[float] = []
+        self._polarity: list[int] = []    # saved phase, 1 = assign true
+        self._order = _VarOrder(self._activity)
+        # Clause arena.  A deleted clause slot holds None.
+        self._clauses: list[list[int] | None] = []
+        self._learnt_flags: list[bool] = []
+        self._lbd: list[int] = []
+        self._learnt_ids: list[int] = []
+        self._watches: list[list[int]] = []
+        # Trail.
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        # Heuristic parameters.
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._restart_base = 100
+        self._ok = True
+        self._model: list[bool] = []
+        self._failed_assumptions: list[int] = []
+        # Statistics.
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.db_reductions = 0
+        self.solve_calls = 0
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------ #
+    # Problem construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its positive DIMACS literal."""
+        self._nvars += 1
+        self._values.append(_UNASSIGNED)
+        self._levels.append(0)
+        self._reasons.append(-1)
+        self._activity.append(0.0)
+        self._polarity.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        self._order.grow(self._nvars)
+        return self._nvars
+
+    def _ensure_var(self, var: int) -> None:
+        while self._nvars < var:
+            self.new_var()
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self._ensure_var(cnf.num_vars)
+        for clause in cnf:
+            self.add_clause(clause)
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause (DIMACS literals).
+
+        Returns ``False`` if the database became trivially unsatisfiable.
+        May only be called at decision level 0, which is where ``solve``
+        always leaves the solver.
+        """
+        if self._trail_lim:
+            raise SatError("clauses may only be added at decision level 0")
+        if not self._ok:
+            return False
+        for lit in lits:
+            self._ensure_var(abs(lit))
+        internal = sorted({_to_internal(lit) for lit in lits})
+        # Tautology and level-0 simplification.
+        simplified: list[int] = []
+        previous = -1
+        for lit in internal:
+            if lit == previous ^ 1 and previous != -1:
+                return True  # contains x and ~x
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value != 0:
+                simplified.append(lit)
+            previous = lit
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            self._enqueue(simplified[0], -1)
+            if self._propagate() != -1:
+                self._ok = False
+                return False
+            return True
+        self._attach_clause(simplified, learnt=False, lbd=0)
+        return True
+
+    def _attach_clause(self, lits: list[int], learnt: bool, lbd: int) -> int:
+        index = len(self._clauses)
+        self._clauses.append(lits)
+        self._learnt_flags.append(learnt)
+        self._lbd.append(lbd)
+        self._watches[lits[0]].append(index)
+        self._watches[lits[1]].append(index)
+        if learnt:
+            self._learnt_ids.append(index)
+            self.learned_clauses += 1
+        return index
+
+    # ------------------------------------------------------------------ #
+    # Assignment primitives
+    # ------------------------------------------------------------------ #
+
+    def _lit_value(self, lit: int) -> int:
+        value = self._values[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: int) -> None:
+        var = lit >> 1
+        self._values[var] = 1 ^ (lit & 1)
+        self._levels[var] = len(self._trail_lim)
+        self._reasons[var] = reason
+        self._trail.append(lit)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        values, polarity, order = self._values, self._polarity, self._order
+        target = self._trail_lim[level]
+        trail = self._trail
+        for i in range(len(trail) - 1, target - 1, -1):
+            lit = trail[i]
+            var = lit >> 1
+            polarity[var] = values[var]
+            values[var] = _UNASSIGNED
+            self._reasons[var] = -1
+            order.insert(var)
+        del trail[target:]
+        del self._trail_lim[level:]
+        self._qhead = len(trail)
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+
+    def _propagate(self) -> int:
+        """Unit propagation.  Returns a conflicting clause index or -1."""
+        # Hot loop: local aliases avoid repeated attribute lookups.
+        clauses = self._clauses
+        watches = self._watches
+        values = self._values
+        trail = self._trail
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            false_lit = p ^ 1
+            watch_list = watches[false_lit]
+            kept: list[int] = []
+            i = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = clauses[ci]
+                if clause is None:
+                    continue  # lazily drop watches of deleted clauses
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                fv = values[first >> 1]
+                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
+                    kept.append(ci)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    lit = clause[k]
+                    lv = values[lit >> 1]
+                    if lv == _UNASSIGNED or lv ^ (lit & 1) == 1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[lit].append(ci)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(ci)
+                if fv != _UNASSIGNED:  # first is false: conflict
+                    kept.extend(watch_list[i:])
+                    watches[false_lit] = kept
+                    return ci
+                self._enqueue(first, ci)
+            watches[false_lit] = kept
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis
+    # ------------------------------------------------------------------ #
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            inv = 1e-100
+            activity = self._activity
+            for i in range(len(activity)):
+                activity[i] *= inv
+            self._var_inc *= inv
+        self._order.bumped(var)
+
+    def _analyze(self, conflict: int) -> tuple[list[int], int, int]:
+        """First-UIP analysis.
+
+        Returns ``(learnt_clause, backtrack_level, lbd)`` with the asserting
+        literal in position 0.
+        """
+        levels = self._levels
+        reasons = self._reasons
+        seen = bytearray(self._nvars)
+        learnt: list[int] = [0]
+        current_level = self._decision_level()
+        counter = 0
+        p = -1
+        index = len(self._trail) - 1
+        clause = self._clauses[conflict]
+        assert clause is not None
+        while True:
+            for q in clause:
+                if q == p:
+                    continue
+                var = q >> 1
+                if not seen[var] and levels[var] > 0:
+                    seen[var] = 1
+                    self._bump_var(var)
+                    if levels[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            trail = self._trail
+            while not seen[trail[index] >> 1]:
+                index -= 1
+            p = trail[index]
+            index -= 1
+            pvar = p >> 1
+            seen[pvar] = 0
+            counter -= 1
+            if counter == 0:
+                break
+            reason = reasons[pvar]
+            clause = self._clauses[reason]
+            assert clause is not None
+        learnt[0] = p ^ 1
+        # Cheap clause minimization: drop literals whose reason is subsumed
+        # by the rest of the learnt clause.
+        for q in learnt[1:]:
+            seen[q >> 1] = 1
+        minimized = [learnt[0]]
+        for q in learnt[1:]:
+            reason = reasons[q >> 1]
+            if reason == -1:
+                minimized.append(q)
+                continue
+            reason_clause = self._clauses[reason]
+            assert reason_clause is not None
+            if all(seen[r >> 1] or levels[r >> 1] == 0
+                   for r in reason_clause if r != q ^ 1):
+                continue
+            minimized.append(q)
+        learnt = minimized
+        if len(learnt) == 1:
+            backtrack = 0
+        else:
+            # Move the literal with the highest level into position 1.
+            best = 1
+            for k in range(2, len(learnt)):
+                if levels[learnt[k] >> 1] > levels[learnt[best] >> 1]:
+                    best = k
+            learnt[1], learnt[best] = learnt[best], learnt[1]
+            backtrack = levels[learnt[1] >> 1]
+        lbd = len({levels[q >> 1] for q in learnt})
+        return learnt, backtrack, lbd
+
+    def _analyze_final(self, failed_assumption: int) -> list[int]:
+        """Compute the subset of assumptions responsible for a conflict.
+
+        ``failed_assumption`` is the internal literal of the assumption whose
+        negation is currently implied.  Because the conflict arises while the
+        assumption prefix is being placed, every decision on the trail is an
+        assumption, so reason-less seen literals are exactly the culprits.
+        """
+        out = {failed_assumption}
+        if not self._trail_lim:
+            return [_to_dimacs(lit) for lit in out]
+        seen = bytearray(self._nvars)
+        seen[failed_assumption >> 1] = 1
+        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+            lit = self._trail[i]
+            var = lit >> 1
+            if not seen[var]:
+                continue
+            reason = self._reasons[var]
+            if reason == -1:
+                out.add(lit)
+            else:
+                clause = self._clauses[reason]
+                assert clause is not None
+                for q in clause:
+                    if self._levels[q >> 1] > 0:
+                        seen[q >> 1] = 1
+            seen[var] = 0
+        return [_to_dimacs(lit) for lit in out]
+
+    # ------------------------------------------------------------------ #
+    # Learned clause database reduction
+    # ------------------------------------------------------------------ #
+
+    def _locked(self, ci: int) -> bool:
+        clause = self._clauses[ci]
+        if clause is None:
+            return False
+        first = clause[0]
+        return (self._lit_value(first) == 1
+                and self._reasons[first >> 1] == ci)
+
+    def _reduce_db(self) -> None:
+        """Remove roughly half of the learned clauses, worst LBD first."""
+        self.db_reductions += 1
+        live = [ci for ci in self._learnt_ids if self._clauses[ci] is not None]
+        clause_len = self._clauses
+        live.sort(key=lambda ci: (self._lbd[ci], len(clause_len[ci] or ())))
+        keep_count = len(live) // 2
+        for ci in live[keep_count:]:
+            if self._locked(ci) or self._lbd[ci] <= 2:
+                continue
+            self._clauses[ci] = None
+        self._learnt_ids = [ci for ci in live
+                            if self._clauses[ci] is not None]
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+
+    def _pick_branch_var(self) -> int:
+        order = self._order
+        values = self._values
+        while order:
+            var = order.pop_max()
+            if values[var] == _UNASSIGNED:
+                return var
+        return -1
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: int | None = None,
+    ) -> SolveResult:
+        """Solve the current database under the given assumptions.
+
+        The database (including everything learned) is left intact, so
+        subsequent calls reuse all prior work — this is the paper's
+        "factorize several checks together within a single ZChaff run".
+
+        ``conflict_budget`` bounds the search; exceeding it yields
+        ``SolveResult.UNKNOWN``.
+        """
+        self.solve_calls += 1
+        self._model = []
+        self._failed_assumptions = []
+        if not self._ok:
+            return SolveResult.UNSAT
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        internal_assumptions = [_to_internal(lit) for lit in assumptions]
+        conflicts_allowed = (float("inf") if conflict_budget is None
+                             else conflict_budget)
+        conflicts_at_start = self.conflicts
+        restart_index = 0
+        restart_limit = self._restart_base * _luby(restart_index)
+        conflicts_since_restart = 0
+        max_learnts = max(1000, len(self._clauses) // 3)
+        result = SolveResult.UNKNOWN
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    result = SolveResult.UNSAT
+                    break
+                self._var_inc /= self._var_decay
+                learnt, backtrack, lbd = self._analyze(conflict)
+                self._cancel_until(backtrack)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], -1)
+                else:
+                    ci = self._attach_clause(learnt, learnt=True, lbd=lbd)
+                    self._enqueue(learnt[0], ci)
+                if self.conflicts - conflicts_at_start >= conflicts_allowed:
+                    result = SolveResult.UNKNOWN
+                    break
+                if conflicts_since_restart >= restart_limit:
+                    self.restarts += 1
+                    restart_index += 1
+                    restart_limit = self._restart_base * _luby(restart_index)
+                    conflicts_since_restart = 0
+                    self._cancel_until(0)
+                if self.learned_clauses and \
+                        len(self._learnt_ids) > max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+            # No conflict: place assumptions first, then decide.
+            if self._decision_level() < len(internal_assumptions):
+                lit = internal_assumptions[self._decision_level()]
+                value = self._lit_value(lit)
+                if value == 1:
+                    # Already implied; open an empty decision level so the
+                    # level-to-assumption correspondence is maintained.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    self._failed_assumptions = self._analyze_final(lit)
+                    result = SolveResult.UNSAT
+                    break
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, -1)
+                continue
+            var = self._pick_branch_var()
+            if var == -1:
+                self._model = [
+                    self._values[v] == 1 for v in range(self._nvars)
+                ]
+                result = SolveResult.SAT
+                break
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(2 * var + (0 if self._polarity[var] else 1), -1)
+        self._cancel_until(0)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self) -> list[bool]:
+        """The satisfying assignment of the last SAT call, indexed by var-1."""
+        if not self._model:
+            raise SatError("no model available (last call was not SAT)")
+        return list(self._model)
+
+    def value(self, var: int) -> bool:
+        """Value of ``var`` (a positive DIMACS variable) in the last model."""
+        if not self._model:
+            raise SatError("no model available (last call was not SAT)")
+        if not 1 <= var <= len(self._model):
+            raise SatError(f"variable {var} out of range")
+        return self._model[var - 1]
+
+    def lit_true(self, lit: int) -> bool:
+        """Whether the DIMACS literal holds in the last model."""
+        value = self.value(abs(lit))
+        return value if lit > 0 else not value
+
+    @property
+    def failed_assumptions(self) -> list[int]:
+        """Assumption subset responsible for the last UNSAT-under-assumptions."""
+        return list(self._failed_assumptions)
+
+    @property
+    def ok(self) -> bool:
+        """False once the database is known unsatisfiable outright."""
+        return self._ok
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "db_reductions": self.db_reductions,
+            "solve_calls": self.solve_calls,
+            "clauses": sum(1 for c in self._clauses if c is not None),
+            "vars": self._nvars,
+        }

@@ -1,0 +1,57 @@
+"""Façade over the three merge engines.
+
+``sweep_edges`` runs the configured pipeline — structural hashing is
+implicit in every rebuild; BDD sweeping and SAT sweeping are optional
+stages — and reports combined statistics.  This is the exact three-step
+recipe of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aig.graph import Aig
+from repro.sweep.bddsweep import bdd_sweep
+from repro.sweep.satsweep import SatSweeper
+from repro.util.stats import StatsBag
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweeping pipeline run."""
+
+    edges: list[int]
+    stats: StatsBag = field(default_factory=StatsBag)
+
+
+def sweep_edges(
+    aig: Aig,
+    edges: list[int],
+    use_bdd: bool = True,
+    use_sat: bool = True,
+    bdd_node_limit: int = 5000,
+    sat_conflict_budget: int = 3000,
+    sweeper: SatSweeper | None = None,
+) -> SweepResult:
+    """Run hash / BDD / SAT sweeping over the given edges.
+
+    Structural hashing happens in every rebuild (step 1).  ``use_bdd``
+    enables the bounded-BDD stage (step 2) and ``use_sat`` the factorized
+    SAT stage (step 3).  A caller-provided ``sweeper`` lets one solver
+    instance persist across many sweeps (e.g. across traversal iterations).
+    """
+    stats = StatsBag()
+    current = list(edges)
+    # Step 1: structural hashing via plain rebuild into the same manager.
+    rebuilt = {}
+    hashed = [aig.rebuild(edge, {}, rebuilt) for edge in current]
+    current = hashed
+    if use_bdd:
+        current, _, bdd_stats = bdd_sweep(aig, current, node_limit=bdd_node_limit)
+        stats.merge(bdd_stats)
+    if use_sat:
+        if sweeper is None:
+            sweeper = SatSweeper(aig, conflict_budget=sat_conflict_budget)
+        current, _ = sweeper.sweep(current)
+        stats.merge(sweeper.stats)
+    return SweepResult(edges=current, stats=stats)

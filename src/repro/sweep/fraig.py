@@ -1,0 +1,140 @@
+"""FRAIG-style functional reduction: sweep, then garbage-collect.
+
+The paper's merge phase proves node equivalences but leaves the manager
+monotone — superseded logic stays behind (append-only AIGs never free
+nodes).  A *functionally reduced* AIG additionally drops that garbage:
+the swept cones are extracted into a fresh manager, so the node count
+really shrinks instead of only the live cone getting smaller.
+
+``fraig`` iterates sweep-and-extract rounds until no further merge is
+found; each extraction gives the next round's signatures and SAT session
+a smaller problem.  The traversal engine uses a single round per
+compaction period; the benchmarks run it standalone on state-set
+snapshots (experiment F3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aig.graph import Aig
+from repro.errors import AigError
+from repro.sweep.circuitsweep import CircuitSweeper
+from repro.sweep.satsweep import SatSweeper
+from repro.util.stats import StatsBag
+
+
+@dataclass
+class FraigResult:
+    """A functionally reduced copy of the requested cones."""
+
+    aig: Aig
+    edges: list[int]
+    node_map: dict[int, int]   # original input nodes -> new input nodes
+    stats: StatsBag
+
+    @property
+    def size(self) -> int:
+        return self.aig.num_ands
+
+
+def fraig(
+    aig: Aig,
+    roots: list[int],
+    engine: str = "cnf",
+    conflict_budget: int = 3000,
+    max_rounds: int = 4,
+    sim_words: int = 4,
+    seed: int = 2005,
+    keep_all_inputs: bool = False,
+) -> FraigResult:
+    """Functionally reduce the cones of ``roots`` into a fresh manager.
+
+    ``engine`` selects the proof back end for the sweep: ``"cnf"`` (the
+    factorized incremental CDCL session) or ``"circuit"`` (the
+    justification-based circuit solver).  Rounds repeat while merges keep
+    landing, up to ``max_rounds``.
+
+    Returns a :class:`FraigResult` whose ``node_map`` maps the original
+    manager's *input nodes* to the new manager's input nodes, so callers
+    (e.g. the traversal engine) can re-anchor latches and inputs.
+    """
+    if engine not in ("cnf", "circuit"):
+        raise AigError(f"unknown fraig engine: {engine!r}")
+    stats = StatsBag()
+    stats.set("size_before", _live_ands(aig, roots))
+    current_aig = aig
+    current_roots = list(roots)
+    # original input node -> current manager's input node
+    input_map = {node: node for node in aig.inputs}
+    for _ in range(max_rounds):
+        if engine == "cnf":
+            sweeper = SatSweeper(
+                current_aig,
+                conflict_budget=conflict_budget,
+                sim_words=sim_words,
+                seed=seed,
+            )
+        else:
+            sweeper = CircuitSweeper(
+                current_aig,
+                conflict_budget=conflict_budget,
+                sim_words=sim_words,
+                seed=seed,
+            )
+        swept_roots, _ = sweeper.sweep(current_roots)
+        stats.merge(sweeper.stats)
+        stats.incr("rounds")
+        merges = sweeper.stats.get("sat_merges", 0) + sweeper.stats.get(
+            "constant_merges", 0
+        )
+        extracted, new_roots, node_map = current_aig.extract(
+            swept_roots, keep_all_inputs=keep_all_inputs
+        )
+        input_map = {
+            original: node_map[node] >> 1
+            for original, node in input_map.items()
+            if node in node_map
+        }
+        current_aig, current_roots = extracted, new_roots
+        if merges == 0:
+            break
+    stats.set("size_after", _live_ands(current_aig, current_roots))
+    return FraigResult(
+        aig=current_aig,
+        edges=current_roots,
+        node_map=input_map,
+        stats=stats,
+    )
+
+
+def fraig_in_place(
+    aig: Aig,
+    roots: list[int],
+    engine: str = "cnf",
+    conflict_budget: int = 3000,
+    sweeper: SatSweeper | CircuitSweeper | None = None,
+) -> tuple[list[int], StatsBag]:
+    """One functional-reduction round that stays in the same manager.
+
+    The manager keeps growing (append-only), but the returned root cones
+    are functionally reduced.  Useful when edges must stay valid in the
+    caller's manager — e.g. between quantification steps.
+    """
+    stats = StatsBag()
+    stats.set("size_before", _live_ands(aig, roots))
+    if sweeper is None:
+        if engine == "cnf":
+            sweeper = SatSweeper(aig, conflict_budget=conflict_budget)
+        elif engine == "circuit":
+            sweeper = CircuitSweeper(aig, conflict_budget=conflict_budget)
+        else:
+            raise AigError(f"unknown fraig engine: {engine!r}")
+    new_roots, _ = sweeper.sweep(roots)
+    stats.merge(sweeper.stats)
+    stats.set("size_after", _live_ands(aig, new_roots))
+    return new_roots, stats
+
+
+def _live_ands(aig: Aig, roots: list[int]) -> int:
+    return sum(1 for node in aig.cone(roots) if aig.is_and(node))

@@ -1,0 +1,174 @@
+"""Random-simulation signatures for candidate-equivalence detection.
+
+Two nodes can only be functionally equivalent (or antivalent) if their
+simulation vectors agree (or are complements) on every pattern.  The table
+maintains per-node vectors, groups nodes into candidate classes by
+phase-normalized signature, and accepts counterexample patterns from failed
+SAT checks to split classes — the feedback loop the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import simulate_nodes
+
+_WORD_BITS = 64
+
+
+class SignatureTable:
+    """Per-node simulation signatures over a growing pattern set.
+
+    Patterns are stored column-wise as uint64 words per input.  New
+    counterexample patterns are buffered and applied in batches of 64
+    (one extra word) to keep numpy overhead low.
+    """
+
+    def __init__(
+        self,
+        aig: Aig,
+        roots: Sequence[int],
+        words: int = 4,
+        seed: int = 2005,
+    ) -> None:
+        self.aig = aig
+        self.roots = list(roots)
+        self._rng = np.random.default_rng(seed)
+        self._inputs = [
+            node for node in aig.cone(self.roots) if aig.is_input(node)
+        ]
+        self._input_vectors: dict[int, np.ndarray] = {
+            node: self._rng.integers(0, 2**64, size=words, dtype=np.uint64)
+            for node in self._inputs
+        }
+        self._pending: list[Mapping[int, bool]] = []
+        self._node_sigs: dict[int, np.ndarray] = {}
+        self._frozen = False
+        self._resimulate()
+
+    # ------------------------------------------------------------------ #
+    # Simulation management
+    # ------------------------------------------------------------------ #
+
+    def _resimulate(self) -> None:
+        self._node_sigs = simulate_nodes(
+            self.aig, self._input_vectors, self.roots
+        )
+
+    def add_pattern(self, assignment: Mapping[int, bool]) -> None:
+        """Queue a counterexample pattern (input node -> value).
+
+        Patterns are folded in lazily; while a sweep is in flight the table
+        is frozen (see :meth:`freeze`) so that signature keys stay mutually
+        comparable within that sweep.
+        """
+        self._pending.append(dict(assignment))
+        if not self._frozen and len(self._pending) >= _WORD_BITS:
+            self.flush()
+
+    def freeze(self) -> None:
+        """Suspend automatic flushing (keys stay stable until :meth:`thaw`)."""
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Re-enable flushing and fold any queued patterns."""
+        self._frozen = False
+        self.flush()
+
+    def flush(self) -> None:
+        """Fold queued patterns into the vectors and resimulate."""
+        if not self._pending:
+            return
+        num_words = (len(self._pending) + _WORD_BITS - 1) // _WORD_BITS
+        for node in self._inputs:
+            extra = np.zeros(num_words, dtype=np.uint64)
+            for bit, pattern in enumerate(self._pending):
+                if pattern.get(node, False):
+                    extra[bit // _WORD_BITS] |= np.uint64(1) << np.uint64(
+                        bit % _WORD_BITS
+                    )
+            self._input_vectors[node] = np.concatenate(
+                [self._input_vectors[node], extra]
+            )
+        self._pending.clear()
+        self._resimulate()
+
+    def refresh_roots(self, roots: Sequence[int]) -> None:
+        """Extend the table to cover additional root cones."""
+        self.roots = list(dict.fromkeys(list(self.roots) + list(roots)))
+        new_inputs = [
+            node
+            for node in self.aig.cone(self.roots)
+            if self.aig.is_input(node) and node not in self._input_vectors
+        ]
+        words = self.words
+        for node in new_inputs:
+            self._inputs.append(node)
+            self._input_vectors[node] = self._rng.integers(
+                0, 2**64, size=words, dtype=np.uint64
+            )
+        self._resimulate()
+
+    @property
+    def words(self) -> int:
+        if not self._input_vectors:
+            return 0
+        return len(next(iter(self._input_vectors.values())))
+
+    # ------------------------------------------------------------------ #
+    # Signatures
+    # ------------------------------------------------------------------ #
+
+    def node_signature(self, node: int) -> np.ndarray:
+        """Raw simulation vector of a node (patterns pending are excluded)."""
+        sig = self._node_sigs.get(node)
+        if sig is None:
+            # Node created after the last resimulation: simulate its cone.
+            self._node_sigs.update(
+                simulate_nodes(self.aig, self._input_vectors, [2 * node])
+            )
+            sig = self._node_sigs[node]
+        return sig
+
+    def edge_signature(self, edge: int) -> np.ndarray:
+        sig = self.node_signature(edge >> 1)
+        return ~sig if edge & 1 else sig
+
+    def signature_key(self, node: int) -> tuple[bool, bytes]:
+        """Phase-normalized hashable signature.
+
+        Returns ``(phase, key)`` where nodes with equal keys are candidates:
+        equal phase suggests equivalence, opposite phase antivalence.
+        """
+        sig = self.node_signature(node)
+        phase = bool(sig[0] & np.uint64(1))
+        normalized = ~sig if phase else sig
+        return phase, normalized.tobytes()
+
+    def edges_may_be_equal(self, a: int, b: int) -> bool:
+        """Necessary condition for edge equivalence (vector equality)."""
+        return bool(np.array_equal(self.edge_signature(a), self.edge_signature(b)))
+
+    def classes(self, nodes: Iterable[int]) -> dict[bytes, list[tuple[int, bool]]]:
+        """Group nodes into candidate classes.
+
+        Returns key -> list of (node, phase).  Nodes in one class with equal
+        phases are equivalence candidates; opposite phases, antivalence.
+        """
+        table: dict[bytes, list[tuple[int, bool]]] = {}
+        for node in nodes:
+            phase, key = self.signature_key(node)
+            table.setdefault(key, []).append((node, phase))
+        return table
+
+    def is_candidate_constant(self, node: int) -> bool | None:
+        """If the node's signature is all-0 or all-1, the suggested constant."""
+        sig = self.node_signature(node)
+        if not sig.any():
+            return False
+        if np.array_equal(sig, np.full_like(sig, ~np.uint64(0))):
+            return True
+        return None

@@ -1,0 +1,6 @@
+"""Small shared utilities: timers, RNG helpers, statistics containers."""
+
+from repro.util.timing import Stopwatch
+from repro.util.stats import Counter, StatsBag
+
+__all__ = ["Stopwatch", "Counter", "StatsBag"]

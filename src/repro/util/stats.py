@@ -1,0 +1,65 @@
+"""Lightweight statistics containers shared by the engines.
+
+Engines report their behaviour (number of SAT checks, merges found, nodes
+saved, ...) through :class:`StatsBag` so that tests and the benchmark harness
+can assert on *how* a result was obtained, not only on the result itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class Counter:
+    """A named monotone counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class StatsBag:
+    """A dictionary of counters and gauges with a compact report format."""
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = {}
+
+    def incr(self, key: str, amount: float = 1) -> None:
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def set(self, key: str, value: float) -> None:
+        self._values[key] = value
+
+    def get(self, key: str, default: float = 0) -> float:
+        return self._values.get(key, default)
+
+    def max(self, key: str, value: float) -> None:
+        self._values[key] = max(self._values.get(key, value), value)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._values)
+
+    def merge(self, other: "StatsBag") -> None:
+        for key, value in other:
+            self.incr(key, value)
+
+    def report(self) -> str:
+        lines = [f"{key:<40} {value:g}" for key, value in self]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatsBag({self._values!r})"

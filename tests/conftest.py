@@ -1,0 +1,61 @@
+"""Shared test helpers: random circuit builders and BDD-based oracles."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aig.graph import Aig
+from repro.bdd.from_aig import aig_to_bdd
+from repro.bdd.manager import BddManager
+
+
+def build_random_aig(
+    num_inputs: int, num_gates: int, seed: int
+) -> tuple[Aig, list[int], int]:
+    """A random AIG with one root edge; reproducible by seed."""
+    rng = random.Random(seed)
+    aig = Aig()
+    inputs = aig.add_inputs(num_inputs)
+    nodes = list(inputs)
+    for _ in range(num_gates):
+        a = rng.choice(nodes) ^ rng.randint(0, 1)
+        b = rng.choice(nodes) ^ rng.randint(0, 1)
+        nodes.append(aig.and_(a, b))
+    root = nodes[-1] ^ rng.randint(0, 1)
+    return aig, inputs, root
+
+
+def bdd_of_edge(aig: Aig, edge: int, input_nodes: list[int]):
+    """Canonical form of an AIG edge (for equivalence assertions)."""
+    manager = BddManager()
+    var_map = {}
+    for index, node in enumerate(input_nodes):
+        manager.new_var()
+        var_map[node] = index
+    return manager, aig_to_bdd(aig, edge, manager, var_map)
+
+
+def edges_equivalent(aig: Aig, a: int, b: int, input_nodes: list[int]) -> bool:
+    """Semantic equality of two edges via canonical BDDs."""
+    manager = BddManager()
+    var_map = {}
+    for index, node in enumerate(input_nodes):
+        manager.new_var()
+        var_map[node] = index
+    cache: dict[int, int] = {}
+    return aig_to_bdd(aig, a, manager, var_map, cache) == aig_to_bdd(
+        aig, b, manager, var_map, cache
+    )
+
+
+@pytest.fixture
+def small_aig():
+    """A tiny fixed AIG: inputs a, b, c and f = (a AND b) OR (NOT a AND c)."""
+    from repro.aig.ops import ite
+
+    aig = Aig()
+    a, b, c = aig.add_inputs(3)
+    f = ite(aig, a, b, c)
+    return aig, (a, b, c), f

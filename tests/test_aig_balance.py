@@ -1,0 +1,131 @@
+"""Tests for AND-tree balancing."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.graph import FALSE, TRUE, Aig, edge_not
+from repro.aig.ops import or_
+from repro.aig.balance import (
+    balance,
+    balance_stats,
+    collect_conjunction,
+)
+from tests.conftest import build_random_aig, edges_equivalent
+
+
+def skewed_chain(width):
+    """A maximally skewed AND chain over ``width`` inputs."""
+    aig = Aig()
+    inputs = aig.add_inputs(width)
+    chain = inputs[0]
+    for x in inputs[1:]:
+        chain = aig.and_(chain, x)
+    return aig, inputs, chain
+
+
+class TestCollect:
+    def test_chain_leaves(self):
+        aig, inputs, chain = skewed_chain(5)
+        assert sorted(collect_conjunction(aig, chain)) == sorted(inputs)
+
+    def test_inverted_edge_is_leaf(self):
+        aig, inputs, chain = skewed_chain(3)
+        assert collect_conjunction(aig, edge_not(chain)) == [edge_not(chain)]
+
+    def test_or_boundary_respected(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        disjunction = or_(aig, a, b)
+        root = aig.and_(disjunction, c)
+        leaves = collect_conjunction(aig, root)
+        assert set(leaves) == {disjunction, c}
+
+    def test_contradictory_leaves_collapse(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        # Build x AND NOT x through two separate gates so the manager's
+        # local simplification cannot see it.
+        left = aig.and_(a, b)
+        right = aig.and_(edge_not(a), b)
+        root = aig.and_(left, right)
+        assert collect_conjunction(aig, root) == [FALSE]
+
+    def test_duplicate_leaves_removed(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        left = aig.and_(a, b)
+        right = aig.and_(b, a)  # hashes to the same node
+        root = aig.and_(left, right)
+        # left == right, so the conjunction is just {a, b}.
+        assert sorted(collect_conjunction(aig, root)) == sorted([a, b])
+
+    def test_input_edge(self):
+        aig = Aig()
+        a = aig.add_input()
+        assert collect_conjunction(aig, a) == [a]
+
+
+class TestBalance:
+    def test_chain_depth_becomes_logarithmic(self):
+        aig, inputs, chain = skewed_chain(16)
+        assert aig.level(chain >> 1) == 15
+        balanced, stats = balance_stats(aig, chain)
+        assert stats.get("depth_after") == 4
+        assert stats.get("size_after") == stats.get("size_before")
+        assert edges_equivalent(
+            aig, chain, balanced, [e >> 1 for e in inputs]
+        )
+
+    def test_constants_pass_through(self):
+        aig = Aig()
+        assert balance(aig, TRUE) == TRUE
+        assert balance(aig, FALSE) == FALSE
+
+    def test_nested_or_and_structure(self):
+        aig = Aig()
+        inputs = aig.add_inputs(8)
+        # OR of two skewed 4-input AND chains.
+        def chain(edges):
+            result = edges[0]
+            for e in edges[1:]:
+                result = aig.and_(result, e)
+            return result
+
+        root = or_(aig, chain(inputs[:4]), chain(inputs[4:]))
+        balanced = balance(aig, root)
+        assert edges_equivalent(
+            aig, root, balanced, [e >> 1 for e in inputs]
+        )
+        assert aig.level(balanced >> 1) <= aig.level(root >> 1)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_aigs_preserved_and_not_deeper(self, seed):
+        aig, inputs, root = build_random_aig(
+            num_inputs=6, num_gates=50, seed=seed
+        )
+        depth_before = aig.level(root >> 1)
+        balanced = balance(aig, root)
+        assert edges_equivalent(
+            aig, root, balanced, [e >> 1 for e in inputs]
+        )
+        assert aig.level(balanced >> 1) <= depth_before
+
+    def test_shared_cache_across_roots(self):
+        aig, inputs, root = build_random_aig(
+            num_inputs=5, num_gates=30, seed=3
+        )
+        cache = {}
+        first = balance(aig, root, cache)
+        second = balance(aig, root, cache)
+        assert first == second
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_balance_preserves_function(self, seed):
+        aig, inputs, root = build_random_aig(
+            num_inputs=4, num_gates=30, seed=seed
+        )
+        balanced = balance(aig, root)
+        assert edges_equivalent(
+            aig, root, balanced, [e >> 1 for e in inputs]
+        )

@@ -1,0 +1,111 @@
+"""Tests for AIGER text I/O and DOT export."""
+
+import pytest
+
+from repro.aig.graph import FALSE, TRUE, Aig, edge_not
+from repro.aig.io import read_aag, to_dot, write_aag_string
+from repro.aig.ops import or_, xor
+from repro.aig.simulate import truth_table
+from repro.errors import AigError
+from tests.conftest import build_random_aig
+
+
+class TestRoundtrip:
+    def test_simple_circuit(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, edge_not(b))
+        text = write_aag_string(aig, [f])
+        loaded, outputs = read_aag(text)
+        assert truth_table(loaded, outputs[0], loaded.inputs) == truth_table(
+            aig, f, [a >> 1, b >> 1]
+        )
+
+    def test_random_circuits(self):
+        for seed in range(5):
+            aig, inputs, root = build_random_aig(4, 20, seed=seed)
+            text = write_aag_string(aig, [root])
+            loaded, outputs = read_aag(text)
+            # extract keeps input order, so truth tables align positionally.
+            assert truth_table(
+                loaded, outputs[0], loaded.inputs
+            ) == truth_table(aig, root, [e >> 1 for e in inputs])
+
+    def test_multiple_outputs(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        outs = [aig.and_(a, b), or_(aig, a, b), xor(aig, a, b)]
+        loaded, loaded_outs = read_aag(write_aag_string(aig, outs))
+        assert len(loaded_outs) == 3
+        for original, reloaded in zip(outs, loaded_outs):
+            assert truth_table(
+                loaded, reloaded, loaded.inputs
+            ) == truth_table(aig, original, [a >> 1, b >> 1])
+
+    def test_constant_output(self):
+        aig = Aig()
+        aig.add_input()
+        loaded, outputs = read_aag(write_aag_string(aig, [TRUE]))
+        assert outputs[0] == TRUE
+
+    def test_input_names_preserved(self):
+        aig = Aig()
+        a = aig.add_input("clock")
+        b = aig.add_input("reset")
+        f = aig.and_(a, b)
+        loaded, _ = read_aag(write_aag_string(aig, [f]))
+        assert loaded.input_name(loaded.inputs[0]) == "clock"
+        assert loaded.input_name(loaded.inputs[1]) == "reset"
+
+    def test_complemented_output(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = edge_not(aig.and_(a, b))
+        loaded, outputs = read_aag(write_aag_string(aig, [f]))
+        assert truth_table(loaded, outputs[0], loaded.inputs) == 0b0111
+
+
+class TestHeaderAndErrors:
+    def test_header_counts(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        header = write_aag_string(aig, [f]).splitlines()[0]
+        assert header == "aag 3 2 0 1 1"
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AigError):
+            read_aag("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(AigError):
+            read_aag("aig 1 1 0 1 0\n2\n2\n")
+
+    def test_latches_rejected(self):
+        with pytest.raises(AigError):
+            read_aag("aag 2 1 1 0 0\n2\n4 2\n")
+
+    def test_undefined_literal_rejected(self):
+        with pytest.raises(AigError):
+            read_aag("aag 2 1 0 1 1\n2\n4\n4 2 6\n")
+
+    def test_odd_and_literal_rejected(self):
+        with pytest.raises(AigError):
+            read_aag("aag 2 1 0 1 1\n2\n4\n5 2 2\n")
+
+
+class TestDot:
+    def test_dot_structure(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, edge_not(b))
+        dot = to_dot(aig, [f])
+        assert dot.startswith("digraph")
+        assert "AND" in dot
+        assert "style=dashed" in dot  # the complemented fanin
+
+    def test_dot_input_labels(self):
+        aig = Aig()
+        a = aig.add_input("enable")
+        dot = to_dot(aig, [a])
+        assert "enable" in dot

@@ -1,0 +1,249 @@
+"""Tests for the AIG Boolean algebra: operators, cofactors, composition."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.graph import FALSE, TRUE, Aig, edge_not
+from repro.aig.ops import (
+    and_all,
+    cofactor,
+    compose,
+    constant_value,
+    implies_edge,
+    ite,
+    or_,
+    or_all,
+    support,
+    support_many,
+    transfer,
+    xnor,
+    xor,
+)
+from repro.aig.simulate import eval_edge, truth_table
+from repro.errors import AigError
+from tests.conftest import build_random_aig, edges_equivalent
+
+
+def exhaustive_check(aig, edge, input_edges, reference):
+    nodes = [e >> 1 for e in input_edges]
+    for values in itertools.product([False, True], repeat=len(nodes)):
+        assignment = dict(zip(nodes, values))
+        assert eval_edge(aig, edge, assignment) == reference(*values)
+
+
+class TestOperators:
+    def setup_method(self):
+        self.aig = Aig()
+        self.a, self.b, self.c = self.aig.add_inputs(3)
+
+    def test_or(self):
+        exhaustive_check(
+            self.aig, or_(self.aig, self.a, self.b), [self.a, self.b],
+            lambda a, b: a or b,
+        )
+
+    def test_xor(self):
+        exhaustive_check(
+            self.aig, xor(self.aig, self.a, self.b), [self.a, self.b],
+            lambda a, b: a != b,
+        )
+
+    def test_xnor(self):
+        exhaustive_check(
+            self.aig, xnor(self.aig, self.a, self.b), [self.a, self.b],
+            lambda a, b: a == b,
+        )
+
+    def test_ite(self):
+        exhaustive_check(
+            self.aig,
+            ite(self.aig, self.a, self.b, self.c),
+            [self.a, self.b, self.c],
+            lambda a, b, c: b if a else c,
+        )
+
+    def test_implies(self):
+        exhaustive_check(
+            self.aig,
+            implies_edge(self.aig, self.a, self.b),
+            [self.a, self.b],
+            lambda a, b: (not a) or b,
+        )
+
+    def test_and_all_empty_is_true(self):
+        assert and_all(self.aig, []) == TRUE
+
+    def test_or_all_empty_is_false(self):
+        assert or_all(self.aig, []) == FALSE
+
+    def test_and_all_many(self):
+        edges = [self.a, self.b, self.c]
+        exhaustive_check(
+            self.aig, and_all(self.aig, edges), edges,
+            lambda a, b, c: a and b and c,
+        )
+
+    def test_or_all_many(self):
+        edges = [self.a, self.b, self.c]
+        exhaustive_check(
+            self.aig, or_all(self.aig, edges), edges,
+            lambda a, b, c: a or b or c,
+        )
+
+    def test_and_all_is_balanced(self):
+        aig = Aig()
+        inputs = aig.add_inputs(16)
+        root = and_all(aig, inputs)
+        # A balanced tree over 16 leaves has depth 4, not 15.
+        assert aig.level(root >> 1) == 4
+
+    def test_constant_value(self):
+        assert constant_value(TRUE) is True
+        assert constant_value(FALSE) is False
+        assert constant_value(self.a) is None
+
+
+class TestCofactor:
+    def test_shannon_expansion_identity(self):
+        aig, inputs, root = build_random_aig(5, 30, seed=4)
+        var = inputs[2] >> 1
+        pos = cofactor(aig, root, var, True)
+        neg = cofactor(aig, root, var, False)
+        rebuilt = ite(aig, inputs[2], pos, neg)
+        input_nodes = [e >> 1 for e in inputs]
+        assert truth_table(aig, rebuilt, input_nodes) == truth_table(
+            aig, root, input_nodes
+        )
+
+    def test_cofactor_removes_variable(self):
+        aig, inputs, root = build_random_aig(5, 30, seed=5)
+        var = inputs[0] >> 1
+        cof = cofactor(aig, root, var, True)
+        assert var not in support(aig, cof)
+
+    def test_cofactor_of_non_input_rejected(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        with pytest.raises(AigError):
+            cofactor(aig, f, f >> 1, True)
+
+    def test_cofactor_independent_variable(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        f = aig.and_(a, b)
+        assert cofactor(aig, f, c >> 1, True) == f
+
+
+class TestCompose:
+    def test_compose_identity(self):
+        aig, inputs, root = build_random_aig(4, 20, seed=6)
+        substitution = {e >> 1: e for e in inputs}
+        assert compose(aig, root, substitution) == root
+
+    def test_compose_swap_variables(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, edge_not(b))
+        swapped = compose(aig, f, {a >> 1: b, b >> 1: a})
+        exhaustive_check(
+            aig, swapped, [a, b], lambda va, vb: vb and not va
+        )
+
+    def test_compose_with_function(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        f = or_(aig, a, b)
+        g = compose(aig, f, {a >> 1: aig.and_(b, c)})
+        exhaustive_check(
+            aig, g, [a, b, c], lambda va, vb, vc: (vb and vc) or vb
+        )
+
+    def test_compose_non_input_rejected(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        with pytest.raises(AigError):
+            compose(aig, a, {f >> 1: b})
+
+    def test_sequential_vs_simultaneous(self):
+        # compose must be simultaneous: {a->b, b->a} is a swap, not a chain.
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, edge_not(b))
+        swapped = compose(aig, f, {a >> 1: b, b >> 1: a})
+        chained = compose(aig, compose(aig, f, {a >> 1: b}), {b >> 1: a})
+        input_nodes = [a >> 1, b >> 1]
+        assert truth_table(aig, swapped, input_nodes) != truth_table(
+            aig, chained, input_nodes
+        )
+
+
+class TestSupport:
+    def test_support_exact(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        f = aig.and_(a, b)
+        assert support(aig, f) == {a >> 1, b >> 1}
+
+    def test_support_constant(self):
+        aig = Aig()
+        assert support(aig, TRUE) == set()
+
+    def test_support_semantic_vs_structural(self):
+        # x AND NOT x folds at construction, so support is empty.
+        aig = Aig()
+        a = aig.add_input()
+        assert support(aig, aig.and_(a, edge_not(a))) == set()
+
+    def test_support_many(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        assert support_many(aig, [aig.and_(a, b), c]) == {
+            a >> 1, b >> 1, c >> 1,
+        }
+
+
+class TestTransfer:
+    def test_transfer_preserves_function(self):
+        src, inputs, root = build_random_aig(4, 25, seed=8)
+        dst = Aig()
+        leaf_map = {e >> 1: dst.add_input() for e in inputs}
+        moved = transfer(src, root, dst, leaf_map)
+        src_tt = truth_table(src, root, [e >> 1 for e in inputs])
+        dst_tt = truth_table(dst, moved, [leaf_map[e >> 1] >> 1 for e in inputs])
+        assert src_tt == dst_tt
+
+    def test_transfer_missing_leaf_rejected(self):
+        src = Aig()
+        a, b = src.add_inputs(2)
+        f = src.and_(a, b)
+        dst = Aig()
+        with pytest.raises(AigError):
+            transfer(src, f, dst, {a >> 1: dst.add_input()})
+
+    def test_transfer_shared_cache(self):
+        src, inputs, root = build_random_aig(4, 25, seed=10)
+        dst = Aig()
+        leaf_map = {e >> 1: dst.add_input() for e in inputs}
+        cache: dict[int, int] = {}
+        first = transfer(src, root, dst, leaf_map, cache)
+        second = transfer(src, edge_not(root), dst, leaf_map, cache)
+        assert second == edge_not(first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    var_index=st.integers(min_value=0, max_value=3),
+)
+def test_shannon_property(seed, var_index):
+    """f == ite(x, f|x=1, f|x=0) for random circuits and variables."""
+    aig, inputs, root = build_random_aig(4, 18, seed=seed)
+    var_edge = inputs[var_index]
+    pos = cofactor(aig, root, var_edge >> 1, True)
+    neg = cofactor(aig, root, var_edge >> 1, False)
+    rebuilt = ite(aig, var_edge, pos, neg)
+    assert edges_equivalent(aig, root, rebuilt, [e >> 1 for e in inputs])

@@ -1,0 +1,146 @@
+"""Tests for the binary AIGER reader/writer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.aiger_binary import (
+    _decode_delta,
+    _encode_delta,
+    read_aig_binary,
+    write_aig_binary_bytes,
+)
+from repro.aig.graph import Aig, edge_not
+from repro.aig.ops import or_, xor
+from repro.aig.simulate import truth_table
+from repro.errors import AigError
+from tests.conftest import build_random_aig
+
+
+def roundtrip(aig, outputs):
+    blob = write_aig_binary_bytes(aig, outputs)
+    return read_aig_binary(blob), blob
+
+
+class TestDeltaCoding:
+    @pytest.mark.parametrize(
+        "value", [0, 1, 127, 128, 129, 16_383, 16_384, 2**28, 2**40]
+    )
+    def test_roundtrip(self, value):
+        import io
+
+        buffer = io.BytesIO()
+        _encode_delta(value, buffer)
+        decoded, cursor = _decode_delta(buffer.getvalue(), 0)
+        assert decoded == value
+        assert cursor == len(buffer.getvalue())
+
+    def test_truncated_rejected(self):
+        with pytest.raises(AigError):
+            _decode_delta(bytes([0x80]), 0)
+
+
+class TestRoundtrip:
+    def test_single_and(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        (recovered, outputs), blob = roundtrip(aig, [f])
+        assert blob.startswith(b"aig 3 2 0 1 1\n")
+        nodes = recovered.inputs
+        assert truth_table(recovered, outputs[0], nodes) == 0b1000
+
+    def test_negated_output(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = edge_not(aig.and_(a, b))
+        (recovered, outputs), _ = roundtrip(aig, [f])
+        assert truth_table(recovered, outputs[0], recovered.inputs) == 0b0111
+
+    def test_constant_outputs(self):
+        aig = Aig()
+        aig.add_input()
+        (recovered, outputs), _ = roundtrip(aig, [0, 1])
+        assert outputs == [0, 1]
+
+    def test_input_names_preserved(self):
+        aig = Aig()
+        a = aig.add_input("clk")
+        b = aig.add_input("rst")
+        f = aig.and_(a, b)
+        (recovered, _), blob = roundtrip(aig, [f])
+        assert b"i0 clk" in blob
+        assert recovered.input_name(recovered.inputs[0]) == "clk"
+        assert recovered.input_name(recovered.inputs[1]) == "rst"
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_aigs_semantics_preserved(self, seed):
+        aig, inputs, root = build_random_aig(
+            num_inputs=5, num_gates=30, seed=seed
+        )
+        other = xor(aig, root, inputs[0])
+        (recovered, outputs), _ = roundtrip(aig, [root, other])
+        order_old = [e >> 1 for e in inputs]
+        order_new = recovered.inputs
+        assert truth_table(aig, root, order_old) == truth_table(
+            recovered, outputs[0], order_new
+        )
+        assert truth_table(aig, other, order_old) == truth_table(
+            recovered, outputs[1], order_new
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_roundtrip(self, seed):
+        aig, inputs, root = build_random_aig(
+            num_inputs=4, num_gates=20, seed=seed
+        )
+        (recovered, outputs), _ = roundtrip(aig, [root])
+        assert truth_table(aig, root, [e >> 1 for e in inputs]) == \
+            truth_table(recovered, outputs[0], recovered.inputs)
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(AigError):
+            read_aig_binary(b"aag 1 1 0 0 0\n")
+
+    def test_missing_header(self):
+        with pytest.raises(AigError):
+            read_aig_binary(b"no newline here")
+
+    def test_latches_rejected(self):
+        with pytest.raises(AigError):
+            read_aig_binary(b"aig 2 1 1 0 0\n2\n")
+
+    def test_inconsistent_counts(self):
+        with pytest.raises(AigError):
+            read_aig_binary(b"aig 9 2 0 0 1\n")
+
+    def test_truncated_and_section(self):
+        aig = Aig()
+        a, b = aig.add_input(), aig.add_input()  # unnamed: no symbol table
+        blob = write_aig_binary_bytes(aig, [aig.and_(a, b)])
+        with pytest.raises(AigError):
+            read_aig_binary(blob[:-1])
+
+
+class TestAgainstAscii:
+    def test_same_function_as_aag(self):
+        from repro.aig.io import read_aag, write_aag_string
+
+        aig, inputs, root = build_random_aig(
+            num_inputs=4, num_gates=25, seed=7
+        )
+        via_ascii, ascii_outputs = read_aag(write_aag_string(aig, [root]))
+        (via_binary, binary_outputs), _ = roundtrip(aig, [root])
+        assert truth_table(
+            via_ascii, ascii_outputs[0], via_ascii.inputs
+        ) == truth_table(via_binary, binary_outputs[0], via_binary.inputs)
+
+    def test_binary_is_smaller(self):
+        from repro.aig.io import write_aag_string
+
+        aig, _, root = build_random_aig(num_inputs=8, num_gates=150, seed=3)
+        ascii_size = len(write_aag_string(aig, [root]))
+        binary_size = len(write_aig_binary_bytes(aig, [root]))
+        assert binary_size < ascii_size

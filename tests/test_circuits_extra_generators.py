@@ -1,0 +1,129 @@
+"""Tests for the johnson / up-down / one-hot generator families."""
+
+import pytest
+
+from repro.circuits.generators import (
+    johnson_counter,
+    one_hot_fsm,
+    up_down_counter,
+)
+from repro.errors import NetlistError
+from repro.mc.engine import verify
+from repro.mc.result import Status
+
+CASES = [
+    (lambda: johnson_counter(4, safe=True), Status.PROVED),
+    (lambda: johnson_counter(4, safe=False), Status.FAILED),
+    (lambda: up_down_counter(3, safe=True), Status.PROVED),
+    (lambda: up_down_counter(3, safe=False), Status.FAILED),
+    (lambda: one_hot_fsm(4, safe=True), Status.PROVED),
+    (lambda: one_hot_fsm(4, safe=False), Status.FAILED),
+]
+
+
+class TestVerdicts:
+    @pytest.mark.parametrize("build,expected", CASES)
+    def test_aig_and_bdd_engines_agree(self, build, expected):
+        for engine in ("reach_aig", "reach_bdd"):
+            result = verify(build(), method=engine)
+            assert result.status is expected, engine
+            if expected is Status.FAILED:
+                assert result.trace.validate(build())
+
+    @pytest.mark.parametrize("build,expected", CASES)
+    def test_forward_engine_agrees(self, build, expected):
+        result = verify(build(), method="reach_aig_fwd")
+        assert result.status is expected
+
+
+class TestJohnson:
+    def test_cycle_length(self):
+        netlist = johnson_counter(4)
+        state = netlist.init_assignment()
+        seen = []
+        for _ in range(8):
+            seen.append(tuple(state[n] for n in netlist.latch_nodes))
+            state = netlist.simulate_step(state, {})
+        # A width-4 Johnson counter has period 8 and visits 8 codes.
+        assert len(set(seen)) == 8
+        assert tuple(state[n] for n in netlist.latch_nodes) == seen[0]
+
+    def test_min_width_rejected(self):
+        with pytest.raises(NetlistError):
+            johnson_counter(1)
+
+
+class TestUpDown:
+    def step(self, netlist, state, up, enable=True):
+        inputs = {
+            netlist.input_nodes[0]: up,
+            netlist.input_nodes[1]: enable,
+        }
+        return netlist.simulate_step(state, inputs)
+
+    def value(self, netlist, state):
+        return sum(
+            int(state[n]) << k
+            for k, n in enumerate(netlist.latch_nodes[:-1])  # skip shadow
+        )
+
+    def test_counts_up_and_saturates(self):
+        netlist = up_down_counter(3)
+        state = netlist.init_assignment()
+        for _ in range(10):
+            state = self.step(netlist, state, up=True)
+        assert self.value(netlist, state) == 7  # saturated at the top
+
+    def test_counts_down_and_saturates(self):
+        netlist = up_down_counter(3)
+        state = netlist.init_assignment()
+        state = self.step(netlist, state, up=True)
+        state = self.step(netlist, state, up=False)
+        assert self.value(netlist, state) == 0
+        state = self.step(netlist, state, up=False)
+        assert self.value(netlist, state) == 0  # saturated at the bottom
+
+    def test_disabled_holds_value(self):
+        netlist = up_down_counter(3)
+        state = netlist.init_assignment()
+        state = self.step(netlist, state, up=True)
+        held = self.step(netlist, state, up=True, enable=False)
+        assert self.value(netlist, held) == self.value(netlist, state)
+
+    def test_buggy_variant_wraps(self):
+        netlist = up_down_counter(3, safe=False)
+        state = netlist.init_assignment()
+        for _ in range(8):
+            state = self.step(netlist, state, up=True)
+        assert self.value(netlist, state) == 0  # wrapped past the top
+
+
+class TestOneHot:
+    def test_advance_rotates(self):
+        netlist = one_hot_fsm(4)
+        state = netlist.init_assignment()
+        advance, glitch = netlist.input_nodes
+        state = netlist.simulate_step(
+            state, {advance: True, glitch: False}
+        )
+        bits = [state[n] for n in netlist.latch_nodes]
+        assert bits == [False, True, False, False]
+
+    def test_hold_without_advance(self):
+        netlist = one_hot_fsm(4)
+        state = netlist.init_assignment()
+        advance, glitch = netlist.input_nodes
+        held = netlist.simulate_step(
+            state, {advance: False, glitch: True}
+        )
+        assert held == state
+
+    def test_buggy_glitch_double_sets(self):
+        netlist = one_hot_fsm(4, safe=False)
+        state = netlist.init_assignment()
+        advance, glitch = netlist.input_nodes
+        state = netlist.simulate_step(
+            state, {advance: False, glitch: True}
+        )
+        bits = [state[n] for n in netlist.latch_nodes]
+        assert sum(bits) == 2  # state 0 kept AND state 1 set

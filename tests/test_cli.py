@@ -1,0 +1,143 @@
+"""Tests for the ``repro`` command-line interface.
+
+Every subcommand is exercised through ``main(argv)`` with real files in a
+tmp directory, checking both the exit codes and the printed reports.
+"""
+
+import pytest
+
+from repro.circuits.bench_format import serialize_bench
+from repro.circuits.blif import parse_blif
+from repro.circuits.library import handshake, s27
+from repro.circuits.parse import serialize_netlist
+from repro.cli import main
+
+
+@pytest.fixture
+def s27_bench(tmp_path):
+    path = tmp_path / "s27.bench"
+    path.write_text(serialize_bench(s27()))
+    return str(path)
+
+
+@pytest.fixture
+def handshake_file(tmp_path):
+    path = tmp_path / "handshake.net"
+    path.write_text(serialize_netlist(handshake(True)))
+    return str(path)
+
+
+@pytest.fixture
+def buggy_file(tmp_path):
+    path = tmp_path / "buggy.net"
+    path.write_text(serialize_netlist(handshake(False)))
+    return str(path)
+
+
+class TestInfo:
+    def test_info_reports_structure(self, s27_bench, capsys):
+        assert main(["info", s27_bench]) == 0
+        out = capsys.readouterr().out
+        assert "inputs:    4" in out
+        assert "latches:   3" in out
+
+    def test_info_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/x.bench"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_bench_to_blif(self, s27_bench, tmp_path, capsys):
+        target = tmp_path / "s27.blif"
+        assert main(["convert", s27_bench, str(target)]) == 0
+        recovered = parse_blif(target.read_text())
+        assert recovered.num_latches == 3
+
+    def test_to_native_format(self, s27_bench, tmp_path):
+        target = tmp_path / "s27.net"
+        assert main(["convert", s27_bench, str(target)]) == 0
+        assert "netlist" in target.read_text()
+
+
+class TestModelCheck:
+    def test_proved_property_exit_zero(self, handshake_file, capsys):
+        assert main(["mc", handshake_file]) == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_failed_property_exit_one(self, buggy_file, capsys):
+        assert main(["mc", buggy_file, "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "counterexample depth" in out
+        assert "step 0" in out
+
+    def test_property_flag_overrides(self, s27_bench, capsys):
+        # "G17 is invariantly 1" is false for s27 (G17 = NOT G11 toggles).
+        code = main(
+            ["mc", s27_bench, "--property", "G17", "--method", "reach_bdd"]
+        )
+        assert code == 1
+
+    def test_no_property_is_an_error(self, s27_bench, capsys):
+        assert main(["mc", s27_bench]) == 2
+        assert "property" in capsys.readouterr().err
+
+    def test_bmc_method(self, buggy_file, capsys):
+        assert main(["mc", buggy_file, "--method", "bmc"]) == 1
+
+    def test_unknown_signal_rejected(self, s27_bench, capsys):
+        assert main(["mc", s27_bench, "--property", "nope"]) == 2
+        assert "unknown signal" in capsys.readouterr().err
+
+
+class TestQuantify:
+    def test_quantify_reports_sizes(self, s27_bench, capsys):
+        code = main(
+            ["quantify", s27_bench, "--output", "G17", "--vars", "G0,G1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quantified:" in out
+        assert "AND nodes" in out
+
+    def test_quantify_preset_and_schedule(self, s27_bench, capsys):
+        code = main(
+            [
+                "quantify", s27_bench, "--output", "G17",
+                "--vars", "G0", "--preset", "shannon",
+                "--schedule", "static",
+            ]
+        )
+        assert code == 0
+
+    def test_quantify_unknown_var(self, s27_bench, capsys):
+        code = main(
+            ["quantify", s27_bench, "--output", "G17", "--vars", "zz"]
+        )
+        assert code == 2
+
+
+class TestFraigCommand:
+    def test_fraig_reports_reduction(self, s27_bench, capsys):
+        assert main(["fraig", s27_bench]) == 0
+        assert "size:" in capsys.readouterr().out
+
+    def test_fraig_circuit_engine(self, s27_bench, capsys):
+        assert main(["fraig", s27_bench, "--engine", "circuit"]) == 0
+
+
+class TestAtpgCommand:
+    def test_atpg_campaign(self, s27_bench, capsys):
+        assert main(["atpg", s27_bench, "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault list:" in out
+        assert "coverage" in out
+        assert "deterministic pass" in out
+
+
+class TestMinimizeFlag:
+    def test_minimize_reports_care_ratio(self, buggy_file, capsys):
+        assert main(["mc", buggy_file, "--minimize", "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "minimized:" in out
+        assert "matter" in out

@@ -1,0 +1,123 @@
+"""Randomized cross-engine tests for constrained verification.
+
+Extends the cross-engine agreement harness with random environment
+constraints: ground truth comes from an explicit-state model checker that
+only follows constraint-satisfying transitions (and only counts
+constraint-satisfying violations).
+"""
+
+import random
+
+import pytest
+
+from repro.aig.simulate import eval_edge
+from repro.circuits.netlist import Netlist
+from repro.mc.engine import verify
+from repro.mc.result import Status
+from tests.test_cross_engine_random import random_netlist
+
+
+def constrained_random_netlist(seed: int) -> Netlist:
+    """A random netlist plus a random (satisfiable-ish) constraint."""
+    rng = random.Random(seed ^ 0x5EED)
+    netlist = random_netlist(seed)
+    aig = netlist.aig
+    pool = netlist.input_nodes + netlist.latch_nodes
+    # Constraint: a disjunction of two literals — never unsatisfiable,
+    # but it prunes a quarter of each step's input space on average.
+    a = 2 * rng.choice(pool) ^ rng.randint(0, 1)
+    b = 2 * rng.choice(pool) ^ rng.randint(0, 1)
+    from repro.aig.ops import or_
+
+    netlist.add_constraint(or_(aig, a, b))
+    netlist.validate()
+    return netlist
+
+
+def constrained_explicit_check(netlist: Netlist) -> tuple[bool, int | None]:
+    """Ground truth honouring constraints on every step."""
+    latch_nodes = netlist.latch_nodes
+    input_nodes = netlist.input_nodes
+    num_inputs = len(input_nodes)
+
+    def input_vectors(state):
+        for bits in range(1 << num_inputs):
+            step_inputs = {
+                node: bool((bits >> k) & 1)
+                for k, node in enumerate(input_nodes)
+            }
+            if netlist.constraints_hold(state, step_inputs):
+                yield step_inputs
+
+    def violates(state) -> bool:
+        for step_inputs in input_vectors(state):
+            assignment = dict(step_inputs)
+            assignment.update(state)
+            if not eval_edge(netlist.aig, netlist.property_edge, assignment):
+                return True
+        return False
+
+    def key(state) -> int:
+        return sum(int(state[n]) << k for k, n in enumerate(latch_nodes))
+
+    frontier = [netlist.init_assignment()]
+    seen = {key(frontier[0])}
+    depth = 0
+    while frontier:
+        for state in frontier:
+            if violates(state):
+                return False, depth
+        next_frontier = []
+        for state in frontier:
+            for step_inputs in input_vectors(state):
+                successor = netlist.simulate_step(state, step_inputs)
+                marker = key(successor)
+                if marker not in seen:
+                    seen.add(marker)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+        depth += 1
+    return True, None
+
+
+ENGINES = ["reach_aig", "reach_aig_fwd", "reach_bdd"]
+
+
+class TestConstrainedCrossEngine:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_engines_match_constrained_ground_truth(self, seed):
+        netlist = constrained_random_netlist(seed)
+        safe, depth = constrained_explicit_check(netlist)
+        for engine in ENGINES:
+            result = verify(constrained_random_netlist(seed), method=engine)
+            expected = Status.PROVED if safe else Status.FAILED
+            assert result.status is expected, (engine, seed)
+            if not safe:
+                assert result.trace is not None, (engine, seed)
+                assert result.trace.depth == depth, (engine, seed)
+                assert result.trace.validate(
+                    constrained_random_netlist(seed)
+                ), (engine, seed)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_constraint_never_creates_violations(self, seed):
+        """Constraining can only remove counterexamples, never add them."""
+        plain = verify(random_netlist(seed), method="reach_bdd")
+        constrained = verify(
+            constrained_random_netlist(seed), method="reach_bdd"
+        )
+        if plain.status is Status.PROVED:
+            assert constrained.status is Status.PROVED, seed
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_bmc_agrees_under_constraints(self, seed):
+        netlist = constrained_random_netlist(seed)
+        safe, depth = constrained_explicit_check(netlist)
+        result = verify(
+            constrained_random_netlist(seed), method="bmc", max_depth=16
+        )
+        if safe:
+            assert result.status in (Status.UNKNOWN, Status.PROVED), seed
+        else:
+            assert result.status is Status.FAILED, seed
+            assert result.trace.depth == depth, seed

@@ -1,0 +1,79 @@
+"""Tests for counterexample minimization (input don't-care analysis)."""
+
+import pytest
+
+from repro.circuits.generators import arbiter, bug_at_depth, mod_counter
+from repro.errors import ModelCheckingError
+from repro.mc.engine import verify
+from repro.mc.minimize import minimize_trace
+from repro.mc.result import Status, Trace
+from tests.test_cross_engine_random import random_netlist
+
+
+class TestMinimize:
+    def test_counter_trace_has_no_inputs_to_minimize(self):
+        result = verify(mod_counter(4, 12, safe=False), method="reach_aig")
+        minimized = minimize_trace(
+            mod_counter(4, 12, safe=False), result.trace
+        )
+        assert minimized.total_inputs == 0
+        assert minimized.care_ratio == 0.0
+        assert minimized.trace.depth == result.trace.depth
+
+    def test_arbiter_collision_inputs_are_care(self):
+        netlist = arbiter(3, safe=False)
+        result = verify(netlist, method="reach_aig")
+        assert result.status is Status.FAILED
+        minimized = minimize_trace(arbiter(3, safe=False), result.trace)
+        # The violation needs two simultaneous requests: at least two of
+        # the violation-step inputs must be marked as caring.
+        caring = sum(
+            1 for matters in minimized.violation_care.values() if matters
+        )
+        assert caring >= 2
+        assert minimized.trace.validate(arbiter(3, safe=False))
+
+    def test_bug_at_depth_relaxation_stays_valid(self):
+        netlist = bug_at_depth(5)
+        result = verify(netlist, method="reach_aig")
+        minimized = minimize_trace(bug_at_depth(5), result.trace)
+        assert minimized.trace.validate(bug_at_depth(5))
+        assert minimized.trace.depth == result.trace.depth
+
+    @pytest.mark.parametrize("seed", [2, 5, 8, 13, 17])
+    def test_random_traces_minimize_and_revalidate(self, seed):
+        netlist = random_netlist(seed)
+        result = verify(netlist, method="reach_aig")
+        if result.status is not Status.FAILED:
+            return
+        minimized = minimize_trace(random_netlist(seed), result.trace)
+        assert minimized.trace.validate(random_netlist(seed))
+        assert 0.0 <= minimized.care_ratio <= 1.0
+        # Care never exceeds the original input count.
+        assert minimized.care_count <= minimized.total_inputs
+
+    def test_invalid_trace_rejected(self):
+        netlist = mod_counter(3, 6, safe=False)
+        bogus = Trace(states=[netlist.init_assignment()], inputs=[])
+        with pytest.raises(ModelCheckingError):
+            minimize_trace(netlist, bogus)
+
+    def test_constrained_minimization_respects_constraints(self):
+        from repro.aig.graph import edge_not
+
+        netlist = arbiter(3, safe=False)
+        aig = netlist.aig
+        r0, r1 = (2 * n for n in netlist.input_nodes[:2])
+        netlist.add_constraint(edge_not(aig.and_(r0, r1)))
+        result = verify(netlist, method="reach_aig")
+        assert result.status is Status.FAILED
+
+        def rebuild():
+            fresh = arbiter(3, safe=False)
+            fa = fresh.aig
+            f0, f1 = (2 * n for n in fresh.input_nodes[:2])
+            fresh.add_constraint(edge_not(fa.and_(f0, f1)))
+            return fresh
+
+        minimized = minimize_trace(rebuild(), result.trace)
+        assert minimized.trace.validate(rebuild())

@@ -1,0 +1,302 @@
+"""Tests for the circuit-SAT solver (justification-frontier search).
+
+The circuit solver is the paper's "we plan to experiment with circuit-SAT"
+direction.  Correctness is cross-checked against the CDCL solver through
+the Tseitin encoding, against BDD oracles, and by evaluating every model
+the solver returns.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aig.cnf import CnfMapper
+from repro.aig.graph import FALSE, TRUE, Aig, edge_not
+from repro.aig.ops import and_all, ite, or_, xor
+from repro.aig.simulate import eval_edge
+from repro.errors import SatError
+from repro.sat.circuit import (
+    CircuitSolver,
+    enumerate_satisfying_assignments,
+    prove_edges_equivalent_circuit,
+    solve_edge,
+)
+from repro.sat.solver import Solver, SolveResult
+from repro.sweep.satsweep import prove_edges_equivalent
+from tests.conftest import build_random_aig, edges_equivalent
+
+
+def cdcl_says_sat(aig, edge, value=True):
+    """Oracle: CNF-based satisfiability of ``edge == value``."""
+    mapper = CnfMapper(aig, Solver())
+    lit = mapper.lit_for(edge if value else edge_not(edge))
+    return mapper.solver.solve([lit]) is SolveResult.SAT
+
+
+class TestBasics:
+    def test_single_and_sat(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig)
+        assert solver.solve([(f, True)]) is SolveResult.SAT
+        model = solver.model_inputs()
+        assert model[a >> 1] and model[b >> 1]
+
+    def test_single_and_blocked(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig)
+        assert solver.solve([(f, True), (a, False)]) is SolveResult.UNSAT
+
+    def test_constant_objectives(self):
+        aig = Aig()
+        solver = CircuitSolver(aig)
+        assert solver.solve([(TRUE, True)]) is SolveResult.SAT
+        assert solver.solve([(TRUE, False)]) is SolveResult.UNSAT
+        assert solver.solve([(FALSE, False)]) is SolveResult.SAT
+        assert solver.solve([(FALSE, True)]) is SolveResult.UNSAT
+
+    def test_contradictory_objectives(self):
+        aig = Aig()
+        a = aig.add_input()
+        solver = CircuitSolver(aig)
+        assert solver.solve([(a, True), (a, False)]) is SolveResult.UNSAT
+
+    def test_complementary_edges_conflict(self):
+        aig = Aig()
+        a = aig.add_input()
+        solver = CircuitSolver(aig)
+        result = solver.solve([(a, True), (edge_not(a), True)])
+        assert result is SolveResult.UNSAT
+
+    def test_objective_on_negated_edge(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig)
+        assert solver.solve([(edge_not(f), True)]) is SolveResult.SAT
+        model = solver.model_inputs()
+        assert not eval_edge(aig, f, model)
+
+    def test_xor_needs_differing_inputs(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = xor(aig, a, b)
+        solver = CircuitSolver(aig)
+        assert solver.solve([(f, True)]) is SolveResult.SAT
+        model = solver.model_inputs()
+        assert model[a >> 1] != model[b >> 1]
+
+    def test_model_unavailable_after_unsat(self):
+        aig = Aig()
+        a = aig.add_input()
+        solver = CircuitSolver(aig)
+        solver.solve([(a, True), (a, False)])
+        with pytest.raises(SatError):
+            solver.model_inputs()
+
+    def test_unsat_conjunction_of_xors(self):
+        # a^b, b^c, a^c cannot all be 1 (parity argument).
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        f = and_all(
+            aig, [xor(aig, a, b), xor(aig, b, c), xor(aig, a, c)]
+        )
+        solver = CircuitSolver(aig)
+        assert solver.solve([(f, True)]) is SolveResult.UNSAT
+
+    def test_solver_reusable_across_calls(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig)
+        assert solver.solve([(f, True)]) is SolveResult.SAT
+        # Grow the AIG between calls; fanout index must extend.
+        g = or_(aig, f, aig.add_input())
+        assert solver.solve([(g, False)]) is SolveResult.SAT
+        assert solver.solve([(f, True), (g, False)]) is SolveResult.UNSAT
+
+
+class TestBudget:
+    def test_zero_budget_reports_unknown_on_hard_instance(self):
+        aig = Aig()
+        inputs = aig.add_inputs(6)
+        # Parity chain: forces deep search for a justification engine.
+        f = inputs[0]
+        for x in inputs[1:]:
+            f = xor(aig, f, x)
+        solver = CircuitSolver(aig, conflict_budget=1)
+        result = solver.solve([(f, True), (edge_not(f), True)])
+        assert result in (SolveResult.UNSAT, SolveResult.UNKNOWN)
+
+    def test_per_call_budget_overrides_default(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig, conflict_budget=0)
+        # Easy instance needs no conflicts at all, so budget never binds.
+        assert solver.solve([(f, True)], conflict_budget=10) is SolveResult.SAT
+
+
+class TestAgainstCdcl:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_aigs_agree_with_cnf_solver(self, seed):
+        aig, _, root = build_random_aig(
+            num_inputs=5, num_gates=25, seed=seed
+        )
+        solver = CircuitSolver(aig)
+        for value in (True, False):
+            got = solver.solve([(root, value)])
+            expected = cdcl_says_sat(aig, root, value)
+            assert (got is SolveResult.SAT) == expected
+            if got is SolveResult.SAT:
+                model = solver.model_inputs()
+                assert eval_edge(aig, root, model) == value
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_two_edge_objectives_agree(self, seed):
+        rng = random.Random(seed)
+        aig, _, root_a = build_random_aig(
+            num_inputs=4, num_gates=18, seed=seed
+        )
+        cone = [2 * n for n in aig.cone([root_a]) if aig.is_and(n)]
+        root_b = rng.choice(cone) ^ rng.randint(0, 1) if cone else root_a
+        solver = CircuitSolver(aig)
+        got = solver.solve([(root_a, True), (root_b, False)])
+        want = cdcl_says_sat(
+            aig, aig.and_(root_a, edge_not(root_b)), True
+        )
+        assert (got is SolveResult.SAT) == want
+        if got is SolveResult.SAT:
+            model = solver.model_inputs()
+            assert eval_edge(aig, root_a, model)
+            assert not eval_edge(aig, root_b, model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_property_random_aig_sat_agreement(self, seed):
+        aig, _, root = build_random_aig(
+            num_inputs=4, num_gates=15, seed=seed
+        )
+        result, model = solve_edge(aig, root, True)
+        assert (result is SolveResult.SAT) == cdcl_says_sat(aig, root, True)
+        if model is not None:
+            assert eval_edge(aig, root, model)
+
+
+class TestEquivalence:
+    def test_structurally_equal(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        solver = CircuitSolver(aig)
+        assert solver.check_equal(f, f) is True
+        assert solver.check_equal(f, edge_not(f)) is False
+
+    def test_semantically_equal_different_structure(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        lhs = aig.and_(a, aig.and_(b, c))
+        rhs = aig.and_(aig.and_(a, b), c)
+        solver = CircuitSolver(aig)
+        assert solver.check_equal(lhs, rhs) is True
+
+    def test_demorgan_equivalence(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        lhs = edge_not(aig.and_(a, b))
+        rhs = or_(aig, edge_not(a), edge_not(b))
+        solver = CircuitSolver(aig)
+        assert solver.check_equal(lhs, rhs) is True
+
+    def test_inequivalent_reports_false(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        solver = CircuitSolver(aig)
+        assert solver.check_equal(aig.and_(a, b), or_(aig, a, b)) is False
+
+    def test_check_constant(self):
+        aig = Aig()
+        a = aig.add_input()
+        tautology = or_(aig, a, edge_not(a))
+        solver = CircuitSolver(aig)
+        assert solver.check_constant(tautology, True) is True
+        assert solver.check_constant(tautology, False) is False
+        assert solver.check_constant(a, True) is False
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_prove_equivalent_matches_cnf_version(self, seed):
+        rng = random.Random(1000 + seed)
+        aig, inputs, root = build_random_aig(
+            num_inputs=4, num_gates=16, seed=seed
+        )
+        cone = [2 * n for n in aig.cone([root]) if aig.is_and(n)]
+        other = rng.choice(cone) ^ rng.randint(0, 1) if cone else root
+        circuit_verdict, circuit_cex = prove_edges_equivalent_circuit(
+            aig, root, other
+        )
+        cnf_verdict, _ = prove_edges_equivalent(aig, root, other)
+        assert circuit_verdict == cnf_verdict
+        assert circuit_verdict == edges_equivalent(
+            aig, root, other, [e >> 1 for e in inputs]
+        )
+        if circuit_verdict is False:
+            assert eval_edge(aig, root, circuit_cex) != eval_edge(
+                aig, other, circuit_cex
+            )
+
+    def test_prove_complement_pair(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = aig.and_(a, b)
+        verdict, cex = prove_edges_equivalent_circuit(aig, f, edge_not(f))
+        assert verdict is False
+        assert cex is not None
+
+
+class TestEnumeration:
+    def test_all_models_of_or(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = or_(aig, a, b)
+        models = enumerate_satisfying_assignments(aig, f, [a >> 1, b >> 1])
+        assert len(models) == 3
+        for model in models:
+            assert eval_edge(aig, f, model)
+
+    def test_limit_respected(self):
+        aig = Aig()
+        a, b = aig.add_inputs(2)
+        f = or_(aig, a, b)
+        assert len(enumerate_satisfying_assignments(aig, f, [a >> 1, b >> 1], limit=2)) == 2
+
+    def test_too_many_inputs_rejected(self):
+        aig = Aig()
+        inputs = aig.add_inputs(21)
+        with pytest.raises(SatError):
+            enumerate_satisfying_assignments(aig, inputs[0], [e >> 1 for e in inputs])
+
+    def test_ite_model_count(self):
+        aig = Aig()
+        a, b, c = aig.add_inputs(3)
+        f = ite(aig, a, b, c)
+        models = enumerate_satisfying_assignments(aig, f, [a >> 1, b >> 1, c >> 1])
+        # ite truth table has 4 ones over 3 inputs.
+        assert len(models) == 4
+
+
+class TestStats:
+    def test_solver_counts_calls_and_decisions(self):
+        aig = Aig()
+        inputs = aig.add_inputs(4)
+        f = inputs[0]
+        for x in inputs[1:]:
+            f = xor(aig, f, x)
+        solver = CircuitSolver(aig)
+        solver.solve([(f, True)])
+        assert solver.stats.get("solve_calls") == 1
+        solver.check_equal(f, inputs[0])
+        assert solver.stats.get("equal_checks") == 1

@@ -1,0 +1,153 @@
+"""Unit tests for the CNF container and DIMACS I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SatError
+from repro.sat import CNF
+
+
+class TestConstruction:
+    def test_empty(self):
+        f = CNF()
+        assert f.num_vars == 0
+        assert f.num_clauses == 0
+        assert len(f) == 0
+
+    def test_new_var_sequential(self):
+        f = CNF()
+        assert f.new_var() == 1
+        assert f.new_var() == 2
+        assert f.num_vars == 2
+
+    def test_new_vars_bulk(self):
+        f = CNF()
+        assert f.new_vars(3) == [1, 2, 3]
+
+    def test_new_vars_negative_rejected(self):
+        with pytest.raises(SatError):
+            CNF().new_vars(-1)
+
+    def test_negative_num_vars_rejected(self):
+        with pytest.raises(SatError):
+            CNF(-1)
+
+    def test_add_clause_grows_vars(self):
+        f = CNF()
+        f.add_clause([3, -5])
+        assert f.num_vars == 5
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(SatError):
+            CNF().add_clause([1, 0])
+
+    def test_extend(self):
+        f = CNF()
+        f.extend([[1, 2], [-1]])
+        assert f.num_clauses == 2
+
+    def test_copy_is_independent(self):
+        f = CNF()
+        f.add_clause([1])
+        g = f.copy()
+        g.add_clause([2])
+        assert f.num_clauses == 1
+        assert g.num_clauses == 2
+
+    def test_iteration_yields_tuples(self):
+        f = CNF()
+        f.add_clause([1, -2])
+        assert list(f) == [(1, -2)]
+
+
+class TestEvaluate:
+    def test_satisfied(self):
+        f = CNF(2)
+        f.add_clause([1, 2])
+        assert f.evaluate([True, False])
+
+    def test_falsified(self):
+        f = CNF(2)
+        f.add_clause([1, 2])
+        assert not f.evaluate([False, False])
+
+    def test_empty_formula_is_true(self):
+        assert CNF(1).evaluate([False])
+
+    def test_short_assignment_rejected(self):
+        f = CNF(3)
+        f.add_clause([3])
+        with pytest.raises(SatError):
+            f.evaluate([True])
+
+    def test_negative_literal_semantics(self):
+        f = CNF(1)
+        f.add_clause([-1])
+        assert f.evaluate([False])
+        assert not f.evaluate([True])
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        f = CNF()
+        f.add_clause([1, -2, 3])
+        f.add_clause([-3])
+        text = f.to_dimacs_string()
+        g = CNF.from_dimacs(text)
+        assert g.num_vars == f.num_vars
+        assert list(g) == list(f)
+
+    def test_header_line(self):
+        f = CNF(4)
+        f.add_clause([1])
+        assert f.to_dimacs_string().splitlines()[0] == "p cnf 4 1"
+
+    def test_parse_with_comments(self):
+        text = "c a comment\np cnf 2 1\n1 -2 0\n"
+        f = CNF.from_dimacs(text)
+        assert f.num_vars == 2
+        assert list(f) == [(1, -2)]
+
+    def test_parse_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        f = CNF.from_dimacs(text)
+        assert list(f) == [(1, 2, 3)]
+
+    def test_parse_declared_vars_override(self):
+        f = CNF.from_dimacs("p cnf 10 1\n1 0\n")
+        assert f.num_vars == 10
+
+    def test_parse_missing_terminator_rejected(self):
+        with pytest.raises(SatError):
+            CNF.from_dimacs("p cnf 1 1\n1\n")
+
+    def test_parse_malformed_header_rejected(self):
+        with pytest.raises(SatError):
+            CNF.from_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_parse_file_object(self):
+        f = CNF.from_dimacs(io.StringIO("p cnf 1 1\n-1 0\n"))
+        assert list(f) == [(-1,)]
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=6).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        max_size=12,
+    )
+)
+def test_dimacs_roundtrip_property(clauses):
+    f = CNF()
+    for clause in clauses:
+        f.add_clause(clause)
+    g = CNF.from_dimacs(f.to_dimacs_string())
+    assert list(g) == list(f)
+    assert g.num_vars == f.num_vars

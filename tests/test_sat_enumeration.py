@@ -1,0 +1,112 @@
+"""Tests for all-solutions enumeration (substrate of SAT-based pre-image)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SatError
+from repro.sat import CNF, enumerate_models, enumerate_projected_cubes
+from repro.sat.dpll import brute_force_models
+from repro.sat.enumeration import drop_literals_generalizer
+
+
+class TestEnumerateModels:
+    def test_counts_match_brute_force(self):
+        f = CNF(3)
+        f.add_clause([1, 2])
+        f.add_clause([-2, 3])
+        assert len(list(enumerate_models(f))) == len(brute_force_models(f))
+
+    def test_unsat_yields_nothing(self):
+        f = CNF(1)
+        f.add_clause([1])
+        f.add_clause([-1])
+        assert list(enumerate_models(f)) == []
+
+    def test_models_are_distinct(self):
+        f = CNF(4)
+        f.add_clause([1, 2, 3, 4])
+        models = [tuple(m) for m in enumerate_models(f)]
+        assert len(models) == len(set(models)) == 15
+
+    def test_max_models_cap(self):
+        f = CNF(4)  # empty formula: 16 models
+        assert len(list(enumerate_models(f, max_models=5))) == 5
+
+    def test_every_model_satisfies(self):
+        f = CNF(3)
+        f.add_clause([-1, 2])
+        f.add_clause([-2, 3])
+        for model in enumerate_models(f):
+            assert f.evaluate(model)
+
+
+class TestProjectedCubes:
+    def test_projection_partitions_solutions(self):
+        f = CNF(3)
+        f.add_clause([1, 2])
+        cubes = list(enumerate_projected_cubes(f, [1, 2]))
+        # Solutions on (x1,x2): 01, 10, 11 -> three disjoint cubes.
+        assert len(cubes) == 3
+        assert len(set(cubes)) == 3
+
+    def test_cubes_cover_all_models(self):
+        f = CNF(3)
+        f.add_clause([1, 3])
+        f.add_clause([-1, 2])
+        cubes = list(enumerate_projected_cubes(f, [1, 2]))
+        for model in brute_force_models(f):
+            covered = any(
+                all(model[abs(lit) - 1] == (lit > 0) for lit in cube)
+                for cube in cubes
+            )
+            assert covered, (model, cubes)
+
+    def test_out_of_range_projection_var(self):
+        f = CNF(2)
+        f.add_clause([1])
+        with pytest.raises(SatError):
+            list(enumerate_projected_cubes(f, [5]))
+
+    def test_max_cubes_cap(self):
+        f = CNF(4)
+        assert len(list(enumerate_projected_cubes(f, [1, 2, 3], max_cubes=2))) == 2
+
+    def test_generalizer_shrinks_cubes(self):
+        # f = x1: over projection (x1, x2) the generalized cube should drop x2.
+        f = CNF(2)
+        f.add_clause([1])
+
+        def contained(cube):
+            # A cube is inside the solution region iff it contains literal 1
+            # (region is exactly x1=1).
+            return 1 in cube
+
+        gen = drop_literals_generalizer(contained)
+        cubes = list(enumerate_projected_cubes(f, [1, 2], generalize=gen))
+        assert cubes == [(1,)]
+
+    def test_generalizer_must_not_return_empty(self):
+        f = CNF(1)
+        f.add_clause([1])
+        with pytest.raises(SatError):
+            list(enumerate_projected_cubes(f, [1], generalize=lambda s, c: ()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(
+            st.integers(min_value=1, max_value=5).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        max_size=10,
+    )
+)
+def test_enumeration_count_property(clauses):
+    f = CNF(5)
+    for clause in clauses:
+        f.add_clause(clause)
+    assert len(list(enumerate_models(f))) == len(brute_force_models(f))

@@ -1,0 +1,292 @@
+"""Unit and property tests for the CDCL solver.
+
+The CDCL engine is cross-checked against brute-force enumeration and the
+reference DPLL solver on random formulas, and exercised on structured
+instances (pigeonhole, parity chains) that stress conflict analysis.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SatError
+from repro.sat import CNF, DpllSolver, Solver, SolveResult
+from repro.sat.dpll import brute_force_models
+
+
+def random_cnf(rng, max_vars=8, max_clauses=32):
+    n = rng.randint(1, max_vars)
+    m = rng.randint(1, max_clauses)
+    f = CNF(n)
+    for _ in range(m):
+        width = min(rng.randint(1, 3), n)
+        variables = rng.sample(range(1, n + 1), width)
+        f.add_clause(rng.choice([v, -v]) for v in variables)
+    return f
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert Solver().solve() is SolveResult.SAT
+
+    def test_unit_clause(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert s.solve() is SolveResult.SAT
+        assert s.value(a)
+
+    def test_contradicting_units(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        assert not s.add_clause([-a])
+        assert s.solve() is SolveResult.UNSAT
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a, -a])
+        assert s.solve() is SolveResult.SAT
+
+    def test_duplicate_literals_collapse(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a, a, a])
+        assert s.solve() is SolveResult.SAT
+        assert s.value(a)
+
+    def test_model_satisfies_formula(self):
+        f = CNF()
+        f.extend([[1, 2, 3], [-1, -2], [-2, -3], [2]])
+        s = Solver(f)
+        assert s.solve() is SolveResult.SAT
+        assert f.evaluate(s.model)
+
+    def test_value_out_of_range(self):
+        s = Solver()
+        s.new_var()
+        s.add_clause([1])
+        s.solve()
+        with pytest.raises(SatError):
+            s.value(7)
+
+    def test_model_unavailable_after_unsat(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        s.solve()
+        with pytest.raises(SatError):
+            _ = s.model
+
+    def test_lit_true_helper(self):
+        s = Solver()
+        a = s.new_var()
+        s.add_clause([-a])
+        assert s.solve() is SolveResult.SAT
+        assert s.lit_true(-a)
+        assert not s.lit_true(a)
+
+    def test_solve_result_truthiness(self):
+        assert bool(SolveResult.SAT)
+        assert not bool(SolveResult.UNSAT)
+        assert not bool(SolveResult.UNKNOWN)
+
+    def test_add_clause_rejected_mid_search(self):
+        # Clauses are only legal at level 0; the public API always returns
+        # there, so this can only be triggered through private state.
+        s = Solver()
+        s.new_var()
+        s._trail_lim.append(0)
+        with pytest.raises(SatError):
+            s.add_clause([1])
+        s._trail_lim.clear()
+
+    def test_stats_populated(self):
+        f = CNF()
+        f.extend([[1, 2], [-1, 2], [1, -2], [-1, -2, 3]])
+        s = Solver(f)
+        s.solve()
+        stats = s.stats()
+        assert stats["solve_calls"] == 1
+        assert stats["vars"] == 3
+
+
+class TestAssumptions:
+    def make(self):
+        s = Solver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        s.add_clause([-a, c])
+        return s, a, b, c
+
+    def test_sat_under_assumptions(self):
+        s, a, b, c = self.make()
+        assert s.solve([-b]) is SolveResult.SAT
+        assert s.value(a) and s.value(c)
+
+    def test_unsat_under_assumptions_db_untouched(self):
+        s, a, b, c = self.make()
+        assert s.solve([a, -c]) is SolveResult.UNSAT
+        assert s.solve() is SolveResult.SAT
+
+    def test_failed_assumptions_subset(self):
+        s, a, b, c = self.make()
+        s.solve([a, -c, b])
+        failed = set(s.failed_assumptions)
+        assert failed <= {a, -c, b}
+        assert failed  # non-empty
+
+    def test_failed_assumptions_are_a_core(self):
+        # Re-solving with just the failed subset must still be UNSAT.
+        s, a, b, c = self.make()
+        s.solve([b, a, -c])
+        core = s.failed_assumptions
+        assert s.solve(core) is SolveResult.UNSAT
+
+    def test_assumption_on_fresh_var(self):
+        s = Solver()
+        assert s.solve([5]) is SolveResult.SAT
+        assert s.value(5)
+
+    def test_many_sequential_checks_share_learning(self):
+        # The factorized-checks workflow from the paper: one database,
+        # many assumption probes.
+        s = Solver()
+        variables = [s.new_var() for _ in range(6)]
+        for x, y in zip(variables, variables[1:]):
+            s.add_clause([-x, y])  # chain of implications
+        for var in variables[1:]:
+            assert s.solve([variables[0], -var]) is SolveResult.UNSAT
+        assert s.solve([variables[0]]) is SolveResult.SAT
+        assert all(s.value(v) for v in variables)
+
+
+class TestStructuredInstances:
+    def pigeonhole(self, holes):
+        """PHP(holes+1, holes): UNSAT, classic resolution-hard family."""
+        f = CNF()
+        pigeons = holes + 1
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = f.new_var()
+        for p in range(pigeons):
+            f.add_clause([var[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    f.add_clause([-var[p1, h], -var[p2, h]])
+        return f
+
+    @pytest.mark.parametrize("holes", [2, 3, 4, 5])
+    def test_pigeonhole_unsat(self, holes):
+        assert Solver(self.pigeonhole(holes)).solve() is SolveResult.UNSAT
+
+    def test_parity_chain_sat(self):
+        # x1 xor x2 xor ... xor xn = 1 encoded via chain variables.
+        f = CNF()
+        n = 10
+        xs = f.new_vars(n)
+        acc = xs[0]
+        for x in xs[1:]:
+            nxt = f.new_var()
+            # nxt = acc xor x
+            f.add_clause([-nxt, acc, x])
+            f.add_clause([-nxt, -acc, -x])
+            f.add_clause([nxt, -acc, x])
+            f.add_clause([nxt, acc, -x])
+            acc = nxt
+        f.add_clause([acc])
+        s = Solver(f)
+        assert s.solve() is SolveResult.SAT
+        assert sum(s.value(x) for x in xs) % 2 == 1
+
+    def test_conflict_budget_unknown(self):
+        f = self.pigeonhole(6)
+        s = Solver(f)
+        assert s.solve(conflict_budget=5) is SolveResult.UNKNOWN
+
+    def test_budget_then_full_solve(self):
+        f = self.pigeonhole(4)
+        s = Solver(f)
+        first = s.solve(conflict_budget=3)
+        assert first in (SolveResult.UNKNOWN, SolveResult.UNSAT)
+        assert s.solve() is SolveResult.UNSAT
+
+
+class TestRandomAgainstOracles:
+    def test_against_brute_force(self):
+        rng = random.Random(42)
+        for _ in range(150):
+            f = random_cnf(rng)
+            expected = bool(brute_force_models(f))
+            s = Solver(f)
+            result = s.solve()
+            assert (result is SolveResult.SAT) == expected
+            if expected:
+                assert f.evaluate(s.model)
+
+    def test_against_dpll(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            f = random_cnf(rng, max_vars=10, max_clauses=40)
+            assert (Solver(f).solve() is SolveResult.SAT) == DpllSolver(f).solve()
+
+    def test_incremental_equals_monolithic(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            f = random_cnf(rng, max_vars=7, max_clauses=25)
+            s = Solver()
+            verdicts = []
+            for clause in f:
+                s.add_clause(clause)
+                verdicts.append(s.solve() is SolveResult.SAT)
+            # Monotone: once UNSAT, stays UNSAT.
+            if False in verdicts:
+                first_false = verdicts.index(False)
+                assert all(not v for v in verdicts[first_false:])
+            # Final verdict matches a fresh solve.
+            assert verdicts[-1] == (Solver(f).solve() is SolveResult.SAT)
+
+
+@st.composite
+def cnf_strategy(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    clause = st.lists(
+        st.integers(min_value=1, max_value=n).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        ),
+        min_size=1,
+        max_size=3,
+    )
+    clauses = draw(st.lists(clause, max_size=15))
+    f = CNF(n)
+    for c in clauses:
+        f.add_clause(c)
+    return f
+
+
+@settings(max_examples=60, deadline=None)
+@given(cnf_strategy())
+def test_cdcl_matches_brute_force_property(f):
+    expected = bool(brute_force_models(f))
+    s = Solver(f)
+    assert (s.solve() is SolveResult.SAT) == expected
+    if expected:
+        assert f.evaluate(s.model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(cnf_strategy(), st.lists(st.integers(min_value=1, max_value=6), max_size=3))
+def test_assumptions_equal_added_units_property(f, assume_vars):
+    assumptions = [v if v % 2 else -v for v in assume_vars]
+    s = Solver(f)
+    under_assumptions = s.solve(assumptions) is SolveResult.SAT
+    g = f.copy()
+    for lit in assumptions:
+        g.add_clause([lit])
+    monolithic = Solver(g).solve() is SolveResult.SAT
+    assert under_assumptions == monolithic

@@ -1,0 +1,101 @@
+"""Tests for the util substrate (stats containers, stopwatch)."""
+
+import pytest
+
+from repro.util.stats import Counter, StatsBag
+from repro.util.timing import Stopwatch
+
+
+class TestStatsBag:
+    def test_incr_and_get(self):
+        bag = StatsBag()
+        bag.incr("checks")
+        bag.incr("checks", 4)
+        assert bag.get("checks") == 5
+        assert bag.get("missing") == 0
+        assert bag.get("missing", 7) == 7
+
+    def test_set_overwrites(self):
+        bag = StatsBag()
+        bag.set("size", 10)
+        bag.set("size", 3)
+        assert bag.get("size") == 3
+
+    def test_max_keeps_peak(self):
+        bag = StatsBag()
+        bag.max("peak", 5)
+        bag.max("peak", 2)
+        bag.max("peak", 9)
+        assert bag.get("peak") == 9
+
+    def test_contains_and_iter_sorted(self):
+        bag = StatsBag()
+        bag.set("b", 2)
+        bag.set("a", 1)
+        assert "a" in bag
+        assert "z" not in bag
+        assert [key for key, _ in bag] == ["a", "b"]
+
+    def test_merge_adds(self):
+        left = StatsBag()
+        left.incr("x", 2)
+        right = StatsBag()
+        right.incr("x", 3)
+        right.incr("y", 1)
+        left.merge(right)
+        assert left.get("x") == 5
+        assert left.get("y") == 1
+
+    def test_as_dict_copy(self):
+        bag = StatsBag()
+        bag.set("k", 1)
+        snapshot = bag.as_dict()
+        snapshot["k"] = 99
+        assert bag.get("k") == 1
+
+    def test_report_format(self):
+        bag = StatsBag()
+        bag.set("alpha", 3)
+        assert "alpha" in bag.report()
+        assert "3" in bag.report()
+
+
+class TestCounter:
+    def test_incr(self):
+        counter = Counter("n")
+        counter.incr()
+        counter.incr(2)
+        assert counter.value == 3
+        assert counter.name == "n"
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first >= 0.0
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+        watch.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_running_flag_and_reset(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
