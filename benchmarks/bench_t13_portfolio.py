@@ -1,0 +1,98 @@
+"""Experiment T13 — portfolio verification over a mixed workload.
+
+The paper's evaluation shows no single engine dominating; the portfolio
+races them and memoizes verdicts by structural hash.  This benchmark
+replays a mixed batch (safe and buggy designs, with structural
+duplicates) through ``check_many`` twice against one shared cache and
+records the winner distribution and the cache hit-rate of the warm pass.
+"""
+
+import pytest
+
+from repro.circuits import generators as G
+from repro.mc.result import Status
+from repro.portfolio import ResultCache, check_many
+from repro.util.stats import StatsBag
+
+WORKLOADS = {
+    "mixed_small": [
+        (lambda: G.mod_counter(4, 12), Status.PROVED),
+        (lambda: G.mod_counter(4, 12, safe=False), Status.FAILED),
+        (lambda: G.ring_counter(5), Status.PROVED),
+        (lambda: G.arbiter(3), Status.PROVED),
+        (lambda: G.fifo_level(3, safe=False), Status.FAILED),
+        (lambda: G.bug_at_depth(8), Status.FAILED),
+        (lambda: G.mod_counter(4, 12), Status.PROVED),      # duplicate
+        (lambda: G.ring_counter(5), Status.PROVED),         # duplicate
+    ],
+}
+
+POLICIES = ["race_all", "sequential_fallback", "predict"]
+
+
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+@pytest.mark.parametrize("policy", POLICIES)
+def test_t13_portfolio_batch(benchmark, record_row, workload, policy):
+    designs = WORKLOADS[workload]
+    cache = ResultCache()
+
+    def run():
+        stats = StatsBag()
+        results = check_many(
+            [build() for build, _ in designs],
+            policy=policy,
+            budget=20.0,
+            cache=cache,
+            stats=stats,
+        )
+        return results, stats
+
+    # Cold pass fills the cache inside the timed region; the warm pass
+    # below measures the memoization payoff.
+    (results, cold_stats) = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (build, expected), result in zip(designs, results):
+        assert result.status is expected, f"{policy}: wrong verdict"
+
+    warm_stats = StatsBag()
+    warm = check_many(
+        [build() for build, _ in designs],
+        policy=policy,
+        budget=20.0,
+        cache=cache,
+        stats=warm_stats,
+    )
+    assert all(
+        result.status is expected
+        for (_, expected), result in zip(designs, warm)
+    )
+    # The batch contains duplicates: the cold pass must already hit, and
+    # the warm pass must be served from cache entirely.
+    assert cold_stats.get("served_from_cache") >= 2
+    assert warm_stats.get("served_from_cache") == len(designs)
+
+    winners = {
+        key[len("winner_"):]: int(value)
+        for key, value in cold_stats
+        if key.startswith("winner_")
+    }
+    assert sum(winners.values()) == len(designs)
+    benchmark.extra_info.update(
+        {
+            "policy": policy,
+            "winners": winners,
+            "cold_cache_hits": cold_stats.get("served_from_cache"),
+            "warm_cache_hits": warm_stats.get("served_from_cache"),
+            "max_engine_seconds": cold_stats.get("max_engine_seconds"),
+        }
+    )
+    winner_text = ",".join(
+        f"{name}x{count}" for name, count in sorted(winners.items())
+    )
+    record_row(
+        "T13 portfolio over a mixed workload",
+        f"{'workload':<14}{'policy':<22}{'cold_hits':>10}{'warm_hits':>10}"
+        f"  winners",
+        f"{workload:<14}{policy:<22}"
+        f"{cold_stats.get('served_from_cache'):>10.0f}"
+        f"{warm_stats.get('served_from_cache'):>10.0f}  {winner_text}",
+    )

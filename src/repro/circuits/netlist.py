@@ -52,6 +52,38 @@ class Netlist:
     # Construction
     # ------------------------------------------------------------------ #
 
+    @classmethod
+    def from_aig(
+        cls,
+        aig: Aig,
+        *,
+        input_nodes: Sequence[int],
+        latches: Sequence[Latch],
+        property_edge: int | None = None,
+        constraints: Sequence[int] = (),
+        outputs: Mapping[str, int] | None = None,
+        name: str = "",
+    ) -> "Netlist":
+        """Re-anchor a netlist onto an existing manager.
+
+        Used by transformations (e.g. FRAIG preprocessing) that rebuild
+        the logic in a fresh ``Aig`` and need a netlist over it without
+        re-creating the leaves through :meth:`add_input`/:meth:`add_latch`.
+        The given nodes/edges must already live in ``aig``; the result is
+        validated before being returned.
+        """
+        netlist = cls(name)
+        netlist.aig = aig
+        netlist._input_nodes = list(input_nodes)
+        netlist._latches = list(latches)
+        netlist._latch_by_node = {latch.node: latch for latch in latches}
+        if outputs:
+            netlist._outputs = dict(outputs)
+        netlist._property = property_edge
+        netlist._constraints = list(constraints)
+        netlist.validate()
+        return netlist
+
     def add_input(self, name: str | None = None) -> int:
         """A primary (free) input; returns its edge."""
         edge = self.aig.add_input(

@@ -5,6 +5,8 @@ Installed as the ``repro`` console script::
     repro info design.bench
     repro convert design.bench design.blif
     repro mc design.blif --method reach_aig --property "!bad"
+    repro portfolio a.bench b.blif --engines bmc,reach_aig --timeout 5 \
+        --jobs 4 --cache results.jsonl
     repro quantify design.bench --output G22 --vars G1,G3 --preset full
     repro fraig design.bench
     repro atpg design.bench --rounds 4
@@ -58,10 +60,15 @@ def _resolve_signal(netlist: Netlist, token: str) -> int:
     if name in netlist.outputs:
         edge = netlist.outputs[name]
     else:
-        for node in netlist.aig.inputs:
-            if netlist.aig.input_name(node) == name:
-                edge = 2 * node
+        for latch in netlist.latches:
+            if latch.name == name:
+                edge = 2 * latch.node
                 break
+        else:
+            for node in netlist.aig.inputs:
+                if netlist.aig.input_name(node) == name:
+                    edge = 2 * node
+                    break
     if edge is None:
         raise ReproError(
             f"unknown signal {name!r}; outputs are "
@@ -140,6 +147,70 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     if result.status is Status.FAILED:
         return 1
     if result.status is Status.UNKNOWN:
+        return 3
+    return 0
+
+
+def _cmd_portfolio(args: argparse.Namespace) -> int:
+    from repro.mc.result import Status
+    from repro.portfolio import portfolio_verify
+    from repro.util.stats import StatsBag
+
+    netlists = []
+    for path in args.files:
+        netlist = _load(path)
+        if args.property is not None:
+            netlist.set_property(_resolve_signal(netlist, args.property))
+        if not netlist.has_property:
+            print(
+                f"error: {path} carries no property; pass --property SIGNAL",
+                file=sys.stderr,
+            )
+            return 2
+        netlists.append(netlist)
+    engines = (
+        [name.strip() for name in args.engines.split(",") if name.strip()]
+        if args.engines
+        else None
+    )
+    stats = StatsBag()
+    results = portfolio_verify(
+        netlists,
+        engines=engines,
+        policy=args.policy,
+        budget=args.timeout,
+        jobs=args.jobs,
+        max_depth=args.max_depth,
+        cache=args.cache,
+        fraig_preprocess=args.fraig,
+        stats=stats,
+    )
+    width = max(len(pathlib.Path(p).name) for p in args.files)
+    print(f"{'design':<{width + 2}}{'verdict':<10}{'engine':<18}"
+          f"{'time':>8}  cached")
+    for path, result in zip(args.files, results):
+        wall = result.stats.get("portfolio_wall_seconds", 0.0)
+        cached = "yes" if result.stats.get("cache_hit") else "no"
+        print(
+            f"{pathlib.Path(path).name:<{width + 2}}"
+            f"{result.status.value:<10}{result.engine:<18}"
+            f"{wall * 1000:>6.0f}ms  {cached}"
+        )
+    hits = stats.get("cache_hits")
+    winners = {
+        key[len("winner_"):]: int(value)
+        for key, value in stats
+        if key.startswith("winner_") and value > 0
+    }
+    print(f"cache: {hits:.0f} hits, {stats.get('cache_misses'):.0f} misses")
+    if winners:
+        print("winners: " + ", ".join(
+            f"{name} x{count}" for name, count in sorted(winners.items())
+        ))
+    statuses = {result.status for result in results}
+    if Status.FAILED in statuses:
+        return 1
+    if Status.UNKNOWN in statuses:
         return 3
     return 0
 
@@ -272,6 +343,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="don't-care-minimize the counterexample inputs",
     )
     p_mc.set_defaults(func=_cmd_mc)
+
+    p_port = sub.add_parser(
+        "portfolio",
+        help="race several engines over one or more designs, with caching",
+    )
+    p_port.add_argument("files", nargs="+", metavar="FILE")
+    p_port.add_argument(
+        "--engines",
+        help="comma-separated engine list (default: bmc,k_induction,"
+        "reach_aig,reach_bdd)",
+    )
+    p_port.add_argument(
+        "--policy",
+        default="race_all",
+        choices=["race_all", "sequential_fallback", "predict"],
+    )
+    p_port.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-engine wall-clock budget in seconds",
+    )
+    p_port.add_argument(
+        "--jobs", type=int, help="max concurrent engine workers"
+    )
+    p_port.add_argument(
+        "--cache", metavar="PATH", help="persistent JSON-lines result cache"
+    )
+    p_port.add_argument("--max-depth", type=int, default=100)
+    p_port.add_argument(
+        "--property",
+        help="output/input/latch name asserted invariantly true "
+        "('!name' negates); applied to every file",
+    )
+    p_port.add_argument(
+        "--fraig",
+        action="store_true",
+        help="FRAIG-preprocess the cones before dispatch",
+    )
+    p_port.set_defaults(func=_cmd_portfolio)
 
     p_quant = sub.add_parser(
         "quantify", help="existentially quantify inputs out of an output cone"

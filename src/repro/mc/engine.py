@@ -8,6 +8,8 @@ returned — an engine producing a bogus trace is a bug, not a result.
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.circuits.netlist import Netlist
 from repro.errors import ModelCheckingError
 from repro.mc.bmc import bmc
@@ -26,7 +28,40 @@ _METHODS = (
     "reach_bdd_fwd",
     "bmc",
     "k_induction",
+    "portfolio",
 )
+
+# The allsat/hybrid methods are reach_aig with a forced elimination mode.
+_REACH_MODES = {
+    "reach_aig": {},
+    "reach_aig_allsat": {"input_elimination": "allsat"},
+    "reach_aig_hybrid": {"input_elimination": "hybrid"},
+}
+
+
+def _reach_options(
+    options_class: type,
+    max_depth: int,
+    forced: dict,
+    options: dict,
+):
+    """One normalization for every reach branch.
+
+    Callers either pass a ready-made ``options=...`` object (whose
+    ``max_iterations`` is respected, with the method's forced fields
+    overriding) or loose keyword options merged into a fresh object.
+    """
+    provided = options.pop("options", None)
+    if provided is not None:
+        if options:
+            raise ModelCheckingError(
+                f"pass either options=... or loose keywords, not both: "
+                f"{sorted(options)}"
+            )
+        return (
+            dataclasses.replace(provided, **forced) if forced else provided
+        )
+    return options_class(max_iterations=max_depth, **forced, **options)
 
 
 def verify(
@@ -39,40 +74,28 @@ def verify(
 
     ``max_depth`` bounds BMC depth / induction k / traversal iterations.
     Extra keyword options are forwarded to the engine.  Traces of FAILED
-    results are replay-validated.
+    results are replay-validated.  ``method="portfolio"`` races several
+    engines via :func:`repro.portfolio.portfolio_verify` (extra keywords
+    configure the portfolio).
     """
     if method not in _METHODS:
         raise ModelCheckingError(
             f"unknown method {method!r}; choose from {_METHODS}"
         )
-    if method == "reach_aig":
-        reach_options = options.pop("options", None) or ReachOptions(
-            max_iterations=max_depth, **options
+    if method == "portfolio":
+        from repro.portfolio.api import portfolio_verify
+
+        result = portfolio_verify(netlist, max_depth=max_depth, **options)
+    elif method in _REACH_MODES:
+        reach_options = _reach_options(
+            ReachOptions, max_depth, _REACH_MODES[method], options
         )
         result = BackwardReachability(netlist, reach_options).run()
     elif method == "reach_aig_fwd":
-        fwd_options = options.pop("options", None) or ForwardReachOptions(
-            max_iterations=max_depth, **options
+        fwd_options = _reach_options(
+            ForwardReachOptions, max_depth, {}, options
         )
         result = ForwardReachability(netlist, fwd_options).run()
-    elif method == "reach_aig_allsat":
-        result = BackwardReachability(
-            netlist,
-            ReachOptions(
-                max_iterations=max_depth,
-                input_elimination="allsat",
-                **options,
-            ),
-        ).run()
-    elif method == "reach_aig_hybrid":
-        result = BackwardReachability(
-            netlist,
-            ReachOptions(
-                max_iterations=max_depth,
-                input_elimination="hybrid",
-                **options,
-            ),
-        ).run()
     elif method == "reach_bdd":
         result = bdd_backward_reachability(
             netlist, max_iterations=max_depth, **options

@@ -1,0 +1,42 @@
+"""Portfolio verification: race engines, cache results, serve batches.
+
+The paper's evaluation shows no single engine dominating across circuits —
+the traversal wins where BDDs blow up, BMC finds shallow bugs fastest,
+induction proves inductive invariants in two SAT calls.  This package turns
+that observation into a subsystem:
+
+* :mod:`repro.portfolio.hashing` — canonical structural hashes of netlists,
+  stable across AIG node renumbering, used as cache keys;
+* :mod:`repro.portfolio.cache` — a persistent (JSON-lines) result cache
+  with an in-memory LRU front, memoizing verdicts *and* budget-stamped
+  UNKNOWNs;
+* :mod:`repro.portfolio.runner` — per-engine worker processes with
+  wall-clock budgets, loser cancellation, and crash/timeout containment;
+* :mod:`repro.portfolio.policy` — engine selection/scheduling policies
+  (``race_all``, ``sequential_fallback``, feature-based ``predict``);
+* :mod:`repro.portfolio.batch` — ``check_many`` sharing cache and budget
+  across a batch, with optional FRAIG preprocessing of the cones;
+* :mod:`repro.portfolio.api` — the single :func:`portfolio_verify` entry
+  point, also reachable as ``repro.mc.verify(method="portfolio")`` and the
+  ``repro portfolio`` CLI subcommand.
+"""
+
+from repro.portfolio.api import portfolio_verify
+from repro.portfolio.batch import check_many
+from repro.portfolio.cache import ResultCache
+from repro.portfolio.hashing import structural_hash
+from repro.portfolio.policy import Plan, circuit_features, select_plan
+from repro.portfolio.runner import EngineOutcome, PortfolioOutcome, run_portfolio
+
+__all__ = [
+    "portfolio_verify",
+    "check_many",
+    "ResultCache",
+    "structural_hash",
+    "Plan",
+    "circuit_features",
+    "select_plan",
+    "EngineOutcome",
+    "PortfolioOutcome",
+    "run_portfolio",
+]

@@ -1,0 +1,66 @@
+"""The portfolio front door: :func:`portfolio_verify`.
+
+One call signature for one netlist or a whole batch; everything else —
+engine choice, scheduling policy, budgets, caching, preprocessing — is a
+keyword.  ``repro.mc.verify(netlist, method="portfolio")`` and the
+``repro portfolio`` CLI subcommand both land here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+from repro.circuits.netlist import Netlist
+from repro.mc.result import VerificationResult
+from repro.portfolio.batch import check_many
+from repro.portfolio.cache import ResultCache
+from repro.util.stats import StatsBag
+
+
+def portfolio_verify(
+    netlists: Netlist | Sequence[Netlist],
+    *,
+    engines: Sequence[str] | None = None,
+    policy: str = "race_all",
+    budget: float = 5.0,
+    jobs: int | None = None,
+    max_depth: int = 100,
+    cache: ResultCache | str | pathlib.Path | None = None,
+    fraig_preprocess: bool = False,
+    stats: StatsBag | None = None,
+    engine_options: dict | None = None,
+) -> VerificationResult | list[VerificationResult]:
+    """Verify one netlist (or a batch) with a portfolio of engines.
+
+    * ``engines`` — engine names from :mod:`repro.mc.engine`; default is
+      :data:`repro.portfolio.policy.DEFAULT_ENGINES`.
+    * ``policy`` — ``race_all`` (concurrent, first decisive verdict
+      cancels the rest), ``sequential_fallback`` (cheapest first), or
+      ``predict`` (feature-ranked sequential).
+    * ``budget`` — per-engine wall-clock seconds; engines over budget are
+      terminated and report UNKNOWN.
+    * ``cache`` — a :class:`ResultCache`, or a path to a JSON-lines cache
+      file shared across calls and processes.
+    * ``fraig_preprocess`` — functionally reduce the cones before
+      dispatch; counterexamples are remapped and replay-validated on the
+      original netlist.
+
+    A single netlist returns a single :class:`VerificationResult`; a
+    sequence returns a list in order.
+    """
+    single = isinstance(netlists, Netlist)
+    batch = [netlists] if single else list(netlists)
+    results = check_many(
+        batch,
+        engines=engines,
+        policy=policy,
+        budget=budget,
+        jobs=jobs,
+        max_depth=max_depth,
+        cache=cache,
+        fraig_preprocess=fraig_preprocess,
+        stats=stats,
+        engine_options=engine_options,
+    )
+    return results[0] if single else results

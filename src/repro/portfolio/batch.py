@@ -1,0 +1,214 @@
+"""Batched portfolio verification with a shared cache and worker budget.
+
+``check_many`` is the service loop: it takes a heterogeneous batch of
+netlists, consults one shared :class:`ResultCache` keyed by structural
+hash, optionally FRAIG-preprocesses the cones before dispatch, and races
+(or sequences) the engines per the selected policy.  Every per-engine
+outcome — wins, losses, budget-stamped timeouts — is written back to the
+cache, so a batch warms the cache for the next batch.
+
+Per-engine results are cached under the *engine's* method name, not under
+an opaque "portfolio" key: a verdict that ``reach_aig`` produced for a
+circuit answers any later request whose engine list includes
+``reach_aig``, whatever the surrounding portfolio looked like.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Mapping, Sequence
+
+from repro.circuits.netlist import Netlist
+from repro.mc.result import Status, Trace, VerificationResult
+from repro.portfolio.cache import ResultCache
+from repro.portfolio.hashing import structural_hash
+from repro.portfolio.policy import select_plan
+from repro.portfolio.runner import run_portfolio
+from repro.sweep.fraig import fraig_netlist
+from repro.util.stats import StatsBag
+
+
+def _remap_assignment(
+    assignment: Mapping[int, bool] | None,
+    source: Sequence[int],
+    target: Sequence[int],
+) -> dict[int, bool] | None:
+    if assignment is None:
+        return None
+    by_index = dict(zip(source, target))
+    return {
+        by_index[node]: value
+        for node, value in assignment.items()
+        if node in by_index
+    }
+
+
+def remap_trace(trace: Trace, source: Netlist, target: Netlist) -> Trace:
+    """Re-key a trace positionally from one netlist onto another."""
+    return Trace(
+        states=[
+            _remap_assignment(state, source.latch_nodes, target.latch_nodes)
+            for state in trace.states
+        ],
+        inputs=[
+            _remap_assignment(step, source.input_nodes, target.input_nodes)
+            for step in trace.inputs
+        ],
+        violation_inputs=_remap_assignment(
+            trace.violation_inputs, source.input_nodes, target.input_nodes
+        ),
+    )
+
+
+def _decisive(result: VerificationResult, netlist: Netlist) -> bool:
+    if result.status is Status.PROVED:
+        return True
+    return (
+        result.status is Status.FAILED
+        and result.trace is not None
+        and result.trace.validate(netlist)
+    )
+
+
+def check_many(
+    netlists: Iterable[Netlist],
+    *,
+    engines: Sequence[str] | None = None,
+    policy: str = "race_all",
+    budget: float = 5.0,
+    jobs: int | None = None,
+    max_depth: int = 100,
+    cache: ResultCache | str | pathlib.Path | None = None,
+    fraig_preprocess: bool = False,
+    stats: StatsBag | None = None,
+    engine_options: dict | None = None,
+) -> list[VerificationResult]:
+    """Verify a batch of netlists through the shared portfolio machinery.
+
+    Returns one :class:`VerificationResult` per netlist, in order.  Each
+    result's ``stats`` carries the portfolio bookkeeping (winner, wall
+    time, per-engine labels, ``cache_hit`` when served from cache); pass
+    ``stats`` to also aggregate those across the batch.
+    """
+    if cache is None:
+        store = ResultCache()
+    elif isinstance(cache, ResultCache):
+        store = cache
+    else:
+        store = ResultCache(cache)
+    bag = stats if stats is not None else StatsBag()
+    hits_before, misses_before = store.hits, store.misses
+    results: list[VerificationResult] = []
+    for netlist in netlists:
+        bag.incr("problems")
+        plan = select_plan(netlist, policy=policy, engines=engines)
+        result = _check_one(
+            netlist,
+            plan.methods,
+            parallel=plan.parallel,
+            budget=budget,
+            jobs=jobs,
+            max_depth=max_depth,
+            store=store,
+            fraig_preprocess=fraig_preprocess,
+            bag=bag,
+            engine_options=engine_options,
+        )
+        results.append(result)
+    # Only this call's share of a (possibly long-lived, shared) cache.
+    bag.incr("cache_hits", store.hits - hits_before)
+    bag.incr("cache_misses", store.misses - misses_before)
+    bag.set("cache_entries", len(store))
+    return results
+
+
+def _check_one(
+    netlist: Netlist,
+    methods: list[str],
+    *,
+    parallel: bool,
+    budget: float,
+    jobs: int | None,
+    max_depth: int,
+    store: ResultCache,
+    fraig_preprocess: bool,
+    bag: StatsBag,
+    engine_options: dict | None,
+) -> VerificationResult:
+    # Cache pass: a decisive hit answers immediately; an UNKNOWN hit
+    # (stamped with >= this budget) disqualifies that engine from the
+    # race — it would only lose the same way again.  A cached FAILED
+    # whose trace no longer replays is distrusted: re-run the engine.
+    digest = structural_hash(netlist)
+    to_run: list[str] = []
+    fallback: VerificationResult | None = None
+    for method in methods:
+        cached = store.lookup(
+            netlist, method, max_depth, budget=budget, digest=digest
+        )
+        if cached is None:
+            to_run.append(method)
+        elif _decisive(cached, netlist):
+            bag.incr("served_from_cache")
+            bag.incr(f"winner_{cached.engine}")
+            return cached
+        elif cached.status is Status.UNKNOWN:
+            fallback = fallback or cached
+        else:
+            to_run.append(method)
+    if not to_run:
+        bag.incr("served_from_cache")
+        return fallback  # every engine already failed with this budget
+    target = fraig_netlist(netlist) if fraig_preprocess else netlist
+    outcome = run_portfolio(
+        target,
+        to_run,
+        max_depth=max_depth,
+        budget=budget,
+        jobs=jobs if parallel else 1,
+        engine_options=engine_options,
+    )
+    for engine_outcome in outcome.outcomes:
+        if engine_outcome.cancelled or engine_outcome.crashed:
+            continue  # crashes may be environmental; don't memoize them
+        stored = engine_outcome.result
+        if (
+            fraig_preprocess
+            and stored.trace is not None
+            and target is not netlist
+        ):
+            stored.trace = remap_trace(stored.trace, target, netlist)
+            if stored.status is Status.FAILED and not stored.trace.validate(
+                netlist
+            ):
+                # Preprocessing must be verdict-preserving; if the remapped
+                # trace does not replay, distrust the whole outcome.
+                stored = VerificationResult(
+                    status=Status.UNKNOWN, engine=stored.engine
+                )
+                stored.stats.incr("preprocess_trace_mismatch")
+                if outcome.winner == engine_outcome.method:
+                    outcome.winner = None
+                    outcome.result = stored
+                    # Take back the win the runner already recorded.
+                    outcome.stats.incr(f"winner_{engine_outcome.method}", -1)
+                    outcome.stats.incr("no_winner")
+                engine_outcome.result = stored
+        store.store(
+            netlist,
+            engine_outcome.method,
+            max_depth,
+            stored,
+            budget=budget,
+            digest=digest,
+        )
+    if outcome.winner is not None:
+        result = next(
+            o.result for o in outcome.outcomes if o.method == outcome.winner
+        )
+    else:
+        # A fresh UNKNOWN at the current budget is the most we know.
+        result = outcome.result
+    result.stats.merge(outcome.stats)
+    bag.merge(outcome.stats)
+    return result

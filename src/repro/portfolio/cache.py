@@ -1,0 +1,243 @@
+"""Persistent verification-result cache keyed by structural hash.
+
+The store is a JSON-lines file (append-only, last entry wins on reload)
+fronted by an in-memory LRU map, so a long-running service pays one file
+read at start-up and O(1) per lookup afterwards.  Keys are
+``(structural_hash, method, max_depth)`` — the three things a verdict
+depends on besides the engine's resource budget.
+
+Traces are serialized *positionally* (bit-strings over the latch and
+input registration order) rather than by AIG node id, because node ids
+are exactly what the structural hash abstracts away: a hit produced by
+one manager must decode into a valid trace for a differently-numbered
+manager of the same circuit.
+
+UNKNOWN entries are stored too, stamped with the wall-clock budget that
+failed to crack them.  They only count as hits for requests with the same
+or a smaller budget — a caller offering more time deserves a fresh run.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import OrderedDict
+from typing import Mapping
+
+from repro.circuits.netlist import Netlist
+from repro.mc.result import Status, Trace, VerificationResult
+from repro.portfolio.hashing import structural_hash
+from repro.util.stats import StatsBag
+
+_MISSING = "x"
+
+
+def _encode_bits(
+    assignment: Mapping[int, bool] | None, nodes: list[int]
+) -> str | None:
+    if assignment is None:
+        return None
+    return "".join(
+        _MISSING if node not in assignment else str(int(assignment[node]))
+        for node in nodes
+    )
+
+
+def _decode_bits(bits: str | None, nodes: list[int]) -> dict[int, bool] | None:
+    if bits is None:
+        return None
+    if len(bits) != len(nodes):
+        raise ValueError("bit-string length does not match netlist")
+    return {
+        node: bit == "1"
+        for node, bit in zip(nodes, bits)
+        if bit != _MISSING
+    }
+
+
+def encode_result(result: VerificationResult, netlist: Netlist) -> dict:
+    """JSON-serializable form of a result, positional over ``netlist``."""
+    latches = netlist.latch_nodes
+    inputs = netlist.input_nodes
+    trace = None
+    if result.trace is not None:
+        trace = {
+            "states": [
+                _encode_bits(state, latches) for state in result.trace.states
+            ],
+            "inputs": [
+                _encode_bits(step, inputs) for step in result.trace.inputs
+            ],
+            "violation_inputs": _encode_bits(
+                result.trace.violation_inputs, inputs
+            ),
+        }
+    return {
+        "status": result.status.value,
+        "engine": result.engine,
+        "iterations": result.iterations,
+        "trace": trace,
+        "stats": result.stats.as_dict(),
+        "gauges": sorted(result.stats.gauge_keys()),
+    }
+
+
+def decode_result(payload: dict, netlist: Netlist) -> VerificationResult:
+    """Rebuild a result for ``netlist`` from its positional encoding."""
+    trace = None
+    if payload.get("trace") is not None:
+        raw = payload["trace"]
+        latches = netlist.latch_nodes
+        inputs = netlist.input_nodes
+        trace = Trace(
+            states=[_decode_bits(bits, latches) for bits in raw["states"]],
+            inputs=[_decode_bits(bits, inputs) for bits in raw["inputs"]],
+            violation_inputs=_decode_bits(raw["violation_inputs"], inputs),
+        )
+    stats = StatsBag()
+    gauges = set(payload.get("gauges", ()))
+    for key, value in payload.get("stats", {}).items():
+        if key in gauges:
+            stats.set(key, value)
+        else:
+            stats.incr(key, value)
+    return VerificationResult(
+        status=Status(payload["status"]),
+        engine=payload["engine"],
+        iterations=int(payload.get("iterations", 0)),
+        trace=trace,
+        stats=stats,
+    )
+
+
+class ResultCache:
+    """LRU-fronted persistent memo of verification results.
+
+    ``path=None`` gives a purely in-memory cache; with a path every store
+    is appended to the JSON-lines file and the whole file is replayed on
+    construction (so concurrent *writers* are append-safe, and the newest
+    entry for a key wins).
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path | None = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        self.path = pathlib.Path(path) if path is not None else None
+        self.max_memory_entries = max_memory_entries
+        self._entries: OrderedDict[tuple[str, str, int], dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = (
+                    record["hash"],
+                    record["method"],
+                    int(record["max_depth"]),
+                )
+            except (ValueError, KeyError):
+                continue  # a torn/corrupt line loses one entry, not the file
+            self._remember(key, record)
+
+    def _remember(self, key: tuple[str, str, int], record: dict) -> None:
+        self._entries[key] = record
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_memory_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+
+    def key_for(
+        self,
+        netlist: Netlist,
+        method: str,
+        max_depth: int,
+        digest: str | None = None,
+    ) -> tuple[str, str, int]:
+        """Cache key; pass a precomputed ``digest`` to skip rehashing."""
+        if digest is None:
+            digest = structural_hash(netlist)
+        return (digest, method, int(max_depth))
+
+    def lookup(
+        self,
+        netlist: Netlist,
+        method: str,
+        max_depth: int,
+        budget: float | None = None,
+        digest: str | None = None,
+    ) -> VerificationResult | None:
+        """A cached result for this problem, or None.
+
+        ``budget`` is the wall-clock the caller is prepared to spend: a
+        stored UNKNOWN stamped with a smaller budget does not satisfy it.
+        """
+        key = self.key_for(netlist, method, max_depth, digest)
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        if record["status"] == Status.UNKNOWN.value:
+            stamped = record.get("budget")
+            if budget is not None and (stamped is None or stamped < budget):
+                self.misses += 1
+                return None
+        try:
+            result = decode_result(record, netlist)
+        except (KeyError, ValueError):
+            # A record that does not decode for this netlist (corruption,
+            # or a key collision between structurally-equal-modulo-dead-
+            # inputs designs) is a miss, not a crash.
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        result.stats.incr("cache_hit")
+        return result
+
+    def store(
+        self,
+        netlist: Netlist,
+        method: str,
+        max_depth: int,
+        result: VerificationResult,
+        budget: float | None = None,
+        digest: str | None = None,
+    ) -> None:
+        key = self.key_for(netlist, method, max_depth, digest)
+        record = encode_result(result, netlist)
+        record.update(
+            {
+                "hash": key[0],
+                "method": key[1],
+                "max_depth": key[2],
+                "budget": budget,
+            }
+        )
+        self._remember(key, record)
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(record) + "\n")
+
+    def stats(self) -> StatsBag:
+        bag = StatsBag()
+        bag.incr("cache_hits", self.hits)
+        bag.incr("cache_misses", self.misses)
+        bag.set("cache_entries", len(self._entries))
+        return bag

@@ -1,0 +1,276 @@
+"""Per-engine worker processes with budgets, cancellation, containment.
+
+Each engine runs :func:`repro.mc.engine.verify` in its own process, so a
+diverging traversal or a crashing solver cannot take the service down
+with it.  The parent polls the workers; the first *decisive* verdict —
+PROVED, or FAILED with a counterexample that replays on the parent's own
+copy of the netlist — wins the race and the losers are terminated.
+Timeouts and crashes are mapped to :data:`Status.UNKNOWN` results (with
+the failure mode recorded in the stats), never to exceptions: a portfolio
+is exactly the place where individual engines are allowed to lose.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.circuits.netlist import Netlist
+from repro.mc.result import Status, VerificationResult
+from repro.util.stats import StatsBag
+
+_POLL_INTERVAL = 0.01
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def _worker(conn, netlist: Netlist, method: str, max_depth: int, options: dict):
+    """Engine subprocess body: one verify call, one message back."""
+    try:
+        from repro.mc.engine import verify
+
+        result = verify(netlist, method=method, max_depth=max_depth, **options)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - contained, reported as UNKNOWN
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass
+class EngineOutcome:
+    """How one engine's run ended, decisive or not."""
+
+    method: str
+    result: VerificationResult
+    elapsed: float
+    timed_out: bool = False
+    crashed: bool = False
+    cancelled: bool = False
+
+    @property
+    def label(self) -> str:
+        if self.timed_out:
+            return "timeout"
+        if self.crashed:
+            return "crash"
+        if self.cancelled:
+            return "cancelled"
+        return self.result.status.value
+
+
+@dataclass
+class PortfolioOutcome:
+    """The race's verdict plus the full per-engine record."""
+
+    result: VerificationResult
+    winner: str | None
+    outcomes: list[EngineOutcome] = field(default_factory=list)
+    stats: StatsBag = field(default_factory=StatsBag)
+
+
+class _Run:
+    """Bookkeeping for one in-flight worker."""
+
+    __slots__ = ("method", "process", "conn", "started")
+
+    def __init__(self, ctx, netlist, method, max_depth, options):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.method = method
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker,
+            args=(child_conn, netlist, method, max_depth, options),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.started = time.monotonic()
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+def _unknown(method: str, note: str, budget: float | None) -> VerificationResult:
+    result = VerificationResult(status=Status.UNKNOWN, engine=method)
+    result.stats.incr(note)
+    if budget is not None:
+        result.stats.set("budget_seconds", budget)
+    return result
+
+
+def run_portfolio(
+    netlist: Netlist,
+    methods: list[str],
+    max_depth: int = 100,
+    budget: float = 5.0,
+    jobs: int | None = None,
+    stop_on_decisive: bool = True,
+    engine_options: dict | None = None,
+) -> PortfolioOutcome:
+    """Race ``methods`` on one netlist under a per-engine budget.
+
+    ``jobs`` caps concurrent workers (default: one per engine, capped by
+    CPU count but at least 2 so racing still happens on small machines);
+    ``jobs=1`` with an ordered method list is sequential fallback.  The
+    first decisive verdict cancels the remaining workers unless
+    ``stop_on_decisive`` is false (useful for agreement checking).
+    """
+    if not methods:
+        raise ValueError("portfolio needs at least one engine")
+    ctx = _context()
+    if jobs is None:
+        jobs = min(len(methods), max(2, os.cpu_count() or 1))
+    jobs = max(1, jobs)
+    options = dict(engine_options or {})
+    pending = list(methods)
+    running: list[_Run] = []
+    outcomes: list[EngineOutcome] = []
+    winner: str | None = None
+    winning: VerificationResult | None = None
+    start = time.monotonic()
+
+    def finish(run: _Run, outcome: EngineOutcome) -> None:
+        running.remove(run)
+        outcomes.append(outcome)
+
+    # With stop_on_decisive=False every engine must run to completion
+    # even after a winner lands (agreement checking).
+    def launching() -> bool:
+        return bool(pending) and (winner is None or not stop_on_decisive)
+
+    while running or launching():
+        while launching() and len(running) < jobs:
+            running.append(
+                _Run(ctx, netlist, pending.pop(0), max_depth, options)
+            )
+        progressed = False
+        for run in list(running):
+            if run not in running:
+                continue  # cancelled earlier in this same sweep
+            if run.conn.poll():
+                progressed = True
+                try:
+                    kind, payload = run.conn.recv()
+                except (EOFError, OSError):
+                    kind, payload = "error", "worker died mid-message"
+                elapsed = run.elapsed
+                run.kill()
+                if kind != "ok":
+                    result = _unknown(run.method, "engine_crashed", budget)
+                    result.stats.set("crash_note", 1)
+                    finish(
+                        run,
+                        EngineOutcome(
+                            run.method, result, elapsed, crashed=True
+                        ),
+                    )
+                    continue
+                result: VerificationResult = payload
+                decisive = result.status is Status.PROVED
+                if result.status is Status.FAILED:
+                    # Replay on the parent's own netlist before declaring a
+                    # winner: a bogus trace from a broken engine must lose.
+                    if result.trace is not None and result.trace.validate(
+                        netlist
+                    ):
+                        decisive = True
+                    else:
+                        result = _unknown(
+                            run.method, "invalid_counterexample", budget
+                        )
+                finish(run, EngineOutcome(run.method, result, elapsed))
+                if decisive and winner is None:
+                    winner, winning = run.method, result
+                    if stop_on_decisive:
+                        for method in pending:
+                            outcomes.append(
+                                EngineOutcome(
+                                    method,
+                                    _unknown(method, "cancelled", budget),
+                                    0.0,
+                                    cancelled=True,
+                                )
+                            )
+                        pending.clear()
+                        for loser in list(running):
+                            loser.kill()
+                            finish(
+                                loser,
+                                EngineOutcome(
+                                    loser.method,
+                                    _unknown(
+                                        loser.method, "cancelled", budget
+                                    ),
+                                    loser.elapsed,
+                                    cancelled=True,
+                                ),
+                            )
+            elif run.elapsed > budget:
+                progressed = True
+                run.kill()
+                finish(
+                    run,
+                    EngineOutcome(
+                        run.method,
+                        _unknown(run.method, "timed_out", budget),
+                        run.elapsed,
+                        timed_out=True,
+                    ),
+                )
+            elif not run.process.is_alive():
+                progressed = True
+                run.kill()
+                finish(
+                    run,
+                    EngineOutcome(
+                        run.method,
+                        _unknown(run.method, "engine_crashed", budget),
+                        run.elapsed,
+                        crashed=True,
+                    ),
+                )
+        if not progressed:
+            time.sleep(_POLL_INTERVAL)
+
+    stats = StatsBag()
+    stats.set("portfolio_wall_seconds", time.monotonic() - start)
+    stats.set("portfolio_engines", len(methods))
+    for outcome in outcomes:
+        stats.incr(f"engine_{outcome.method}_{outcome.label}")
+        stats.max("max_engine_seconds", outcome.elapsed)
+    if winner is not None:
+        stats.incr(f"winner_{winner}")
+        result = winning
+    else:
+        # Nobody decided: surface the most informative UNKNOWN (a real
+        # engine UNKNOWN beats a timeout beats a crash).
+        result = _unknown("portfolio", "no_decisive_engine", budget)
+        for outcome in outcomes:
+            if not (outcome.timed_out or outcome.crashed or outcome.cancelled):
+                result = outcome.result
+                break
+        stats.incr("no_winner")
+    return PortfolioOutcome(
+        result=result, winner=winner, outcomes=outcomes, stats=stats
+    )

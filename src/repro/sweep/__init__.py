@@ -21,7 +21,7 @@ from repro.sweep.satsweep import SatSweeper, prove_edges_equivalent
 from repro.sweep.circuitsweep import CircuitSweeper
 from repro.sweep.bddsweep import bdd_sweep
 from repro.sweep.engine import sweep_edges, SweepResult
-from repro.sweep.fraig import fraig, fraig_in_place, FraigResult
+from repro.sweep.fraig import fraig, fraig_in_place, fraig_netlist, FraigResult
 
 __all__ = [
     "SignatureTable",
@@ -32,6 +32,7 @@ __all__ = [
     "sweep_edges",
     "fraig",
     "fraig_in_place",
+    "fraig_netlist",
     "FraigResult",
     "SweepResult",
 ]

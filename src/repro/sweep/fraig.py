@@ -108,6 +108,55 @@ def fraig(
     )
 
 
+def fraig_netlist(netlist) -> "Netlist":
+    """A functionally reduced copy posing the same verification problem.
+
+    Reduces the latch next-state cones, the property and the constraints
+    into a fresh manager, preserving latch/input registration order,
+    names and initial values — so the copy has the same structural hash
+    *role* layout and the same positional trace encoding as the original
+    (a counterexample found on the copy remaps onto the original by
+    position).  This is the portfolio's preprocessing hook.
+    """
+    # Imported here: repro.circuits must not become a hard dependency of
+    # the sweep package's module graph (the AIG-level API stays pure).
+    from repro.circuits.netlist import Latch, Netlist
+
+    netlist.validate()
+    roots = [latch.next_edge for latch in netlist.latches]
+    if netlist.has_property:
+        roots.append(netlist.property_edge)
+    roots.extend(netlist.constraints)
+    if not roots:
+        return netlist
+    reduced = fraig(netlist.aig, roots, keep_all_inputs=True)
+    node_map = reduced.node_map  # original input node -> new input node
+    latches = []
+    cursor = 0
+    for latch in netlist.latches:
+        latches.append(
+            Latch(
+                node=node_map[latch.node],
+                next_edge=reduced.edges[cursor],
+                init=latch.init,
+                name=latch.name,
+            )
+        )
+        cursor += 1
+    property_edge = None
+    if netlist.has_property:
+        property_edge = reduced.edges[cursor]
+        cursor += 1
+    return Netlist.from_aig(
+        reduced.aig,
+        input_nodes=[node_map[n] for n in netlist.input_nodes],
+        latches=latches,
+        property_edge=property_edge,
+        constraints=reduced.edges[cursor:],
+        name=netlist.name,
+    )
+
+
 def fraig_in_place(
     aig: Aig,
     roots: list[int],

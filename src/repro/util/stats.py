@@ -27,22 +27,37 @@ class Counter:
 
 
 class StatsBag:
-    """A dictionary of counters and gauges with a compact report format."""
+    """A dictionary of counters and gauges with a compact report format.
+
+    Keys written with :meth:`incr` are *counters* and add up under
+    :meth:`merge`; keys written with :meth:`set` or :meth:`max` are
+    *gauges* (sizes, peaks, levels) and merge by maximum — summing two
+    engines' ``peak_size`` would report a peak nobody ever saw.
+    """
 
     def __init__(self) -> None:
         self._values: dict[str, float] = {}
+        self._gauges: set[str] = set()
 
     def incr(self, key: str, amount: float = 1) -> None:
         self._values[key] = self._values.get(key, 0) + amount
 
     def set(self, key: str, value: float) -> None:
         self._values[key] = value
+        self._gauges.add(key)
 
     def get(self, key: str, default: float = 0) -> float:
         return self._values.get(key, default)
 
     def max(self, key: str, value: float) -> None:
         self._values[key] = max(self._values.get(key, value), value)
+        self._gauges.add(key)
+
+    def is_gauge(self, key: str) -> bool:
+        return key in self._gauges
+
+    def gauge_keys(self) -> set[str]:
+        return set(self._gauges)
 
     def __contains__(self, key: str) -> bool:
         return key in self._values
@@ -54,8 +69,12 @@ class StatsBag:
         return dict(self._values)
 
     def merge(self, other: "StatsBag") -> None:
+        """Fold another bag in: counters add, gauges keep the maximum."""
         for key, value in other:
-            self.incr(key, value)
+            if key in other._gauges or key in self._gauges:
+                self.max(key, value)
+            else:
+                self.incr(key, value)
 
     def report(self) -> str:
         lines = [f"{key:<40} {value:g}" for key, value in self]

@@ -89,6 +89,23 @@ class TestModelCheck:
         assert main(["mc", s27_bench, "--property", "nope"]) == 2
         assert "unknown signal" in capsys.readouterr().err
 
+    def test_latch_name_resolves_as_property(self, handshake_file, capsys):
+        # Regression: the docstring promises latch names resolve, and
+        # grant_a starts at 0, so "invariantly 1" fails immediately.
+        assert main(
+            ["mc", handshake_file, "--property", "grant_a",
+             "--method", "bmc"]
+        ) == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_negated_latch_property(self, s27_bench):
+        # "!G5" must resolve to the complement of latch G5's edge;
+        # reach_bdd decides it either way without erroring.
+        code = main(
+            ["mc", s27_bench, "--property", "!G5", "--method", "reach_bdd"]
+        )
+        assert code in (0, 1)
+
 
 class TestQuantify:
     def test_quantify_reports_sizes(self, s27_bench, capsys):
@@ -133,6 +150,68 @@ class TestAtpgCommand:
         assert "fault list:" in out
         assert "coverage" in out
         assert "deterministic pass" in out
+
+
+class TestResolveSignal:
+    def test_latch_lookup_returns_latch_edge(self):
+        from repro.cli import _resolve_signal
+
+        netlist = handshake(True)
+        by_name = {latch.name: latch for latch in netlist.latches}
+        edge = _resolve_signal(netlist, "grant_a")
+        assert edge == 2 * by_name["grant_a"].node
+        assert _resolve_signal(netlist, "!grant_a") == edge ^ 1
+
+
+class TestPortfolioCommand:
+    def test_all_proved_exit_zero(self, handshake_file, capsys):
+        assert main(["portfolio", handshake_file, "--timeout", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "proved" in out
+        assert "winners:" in out
+
+    def test_any_failed_exit_one(self, handshake_file, buggy_file, capsys):
+        code = main(
+            ["portfolio", handshake_file, buggy_file, "--timeout", "10"]
+        )
+        assert code == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_all_unknown_exit_three(self, handshake_file, capsys):
+        # bmc alone cannot prove a safe design.
+        code = main(
+            ["portfolio", handshake_file, "--engines", "bmc",
+             "--timeout", "10"]
+        )
+        assert code == 3
+        assert "unknown" in capsys.readouterr().out
+
+    def test_cache_file_round_trip(self, handshake_file, tmp_path, capsys):
+        cache = tmp_path / "cache.jsonl"
+        args = ["portfolio", handshake_file, "--cache", str(cache),
+                "--timeout", "10"]
+        assert main(args) == 0
+        assert cache.exists()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out.splitlines()[-3]  # served from cache
+
+    def test_no_property_is_an_error(self, s27_bench, capsys):
+        assert main(["portfolio", s27_bench]) == 2
+        assert "property" in capsys.readouterr().err
+
+    def test_property_flag_applies_to_files(self, s27_bench, capsys):
+        code = main(
+            ["portfolio", s27_bench, "--property", "G17",
+             "--engines", "bmc,reach_bdd", "--timeout", "10"]
+        )
+        assert code == 1
+
+    def test_unknown_engine_rejected(self, handshake_file, capsys):
+        code = main(
+            ["portfolio", handshake_file, "--engines", "warp_drive"]
+        )
+        assert code == 3  # the lone engine crashes; verdict stays unknown
 
 
 class TestMinimizeFlag:

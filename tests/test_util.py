@@ -46,6 +46,38 @@ class TestStatsBag:
         assert left.get("x") == 5
         assert left.get("y") == 1
 
+    def test_merge_keeps_gauge_peaks(self):
+        # Regression: merging used to *add* peak_size-style gauges,
+        # reporting peaks nobody ever saw.
+        left = StatsBag()
+        left.max("peak_size", 10)
+        left.set("size_after", 7)
+        right = StatsBag()
+        right.max("peak_size", 6)
+        right.set("size_after", 9)
+        left.merge(right)
+        assert left.get("peak_size") == 10
+        assert left.get("size_after") == 9
+
+    def test_merge_gauge_on_either_side_wins(self):
+        # A key that is a gauge in one bag stays a gauge after merging.
+        left = StatsBag()
+        left.incr("depth", 3)
+        right = StatsBag()
+        right.set("depth", 2)
+        left.merge(right)
+        assert left.get("depth") == 3
+        assert left.is_gauge("depth")
+
+    def test_gauge_tracking(self):
+        bag = StatsBag()
+        bag.incr("checks")
+        bag.set("size", 5)
+        bag.max("peak", 7)
+        assert not bag.is_gauge("checks")
+        assert bag.is_gauge("size")
+        assert bag.gauge_keys() == {"size", "peak"}
+
     def test_as_dict_copy(self):
         bag = StatsBag()
         bag.set("k", 1)
