@@ -29,9 +29,16 @@ ENGINES = ["reach_aig", "reach_bdd"]
 
 @pytest.mark.parametrize("design", list(BENCHMARKS))
 @pytest.mark.parametrize("engine", ENGINES)
-def test_t4_reachability(benchmark, record_row, design, engine):
+def test_t4_reachability(benchmark, record_row, record_json, design, engine):
+    import time
+
+    wall = {}
+
     def run():
-        return verify(BENCHMARKS[design](), method=engine, max_depth=200)
+        start = time.perf_counter()
+        result = verify(BENCHMARKS[design](), method=engine, max_depth=200)
+        wall["seconds"] = time.perf_counter() - start
+        return result
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     peak = result.stats.get(
@@ -52,4 +59,23 @@ def test_t4_reachability(benchmark, record_row, design, engine):
         f"{'peak_repr':>10}",
         f"{design:<18}{engine:<11}{result.status.value:<9}"
         f"{result.iterations:>6}{peak:>10.0f}",
+    )
+    record_json(
+        f"t4_reachability[{design}-{engine}]",
+        design=design,
+        engine=engine,
+        status=result.status.value,
+        wall_seconds=wall["seconds"],
+        iterations=result.iterations,
+        peak_representation=peak,
+        manager_nodes=(
+            result.stats.get("manager_nodes")
+            if "manager_nodes" in result.stats
+            else None
+        ),
+        cache_hit_rate=(
+            result.stats.get("bdd_cache_hit_rate")
+            if "bdd_cache_hit_rate" in result.stats
+            else None
+        ),
     )

@@ -3,8 +3,32 @@
 Nodes are integers; 0 and 1 are the terminals.  Internal nodes are
 hash-consed triples ``(var, low, high)`` with ``low != high`` and variables
 ordered along every path (``var`` strictly increases downward).  There are
-no complement edges — negation is an ``ite`` — which keeps the
+no complement edges — negation is a cached traversal — which keeps the
 implementation small and the canonicity argument obvious.
+
+The kernel is organized the way serious BDD packages (CUDD, BuDDy) are:
+
+* every operator (AND, OR, XOR, NOT, ITE, EXISTS, AND-EXISTS) has its own
+  *operation-tagged* apply cache, so an ``and_`` never collides with an
+  ``ite`` and commutative operators normalize their operands into one
+  entry;
+* quantification takes a *cube* (the positive conjunction of the
+  quantified variables) and eliminates every variable in one recursion
+  instead of rescanning the BDD once per variable;
+* the relational-product workhorse :meth:`and_exists` fuses conjunction
+  and existential quantification, short-circuiting on FALSE and on a TRUE
+  disjunct, dropping cube variables that lie above the operands' supports,
+  and skipping quantification of variables absent from the support;
+* caches are *bounded*: when ``max_cache_entries`` is set, a cache that
+  fills up is dropped wholesale (the MiniSat-style "cheap amnesia beats
+  bookkeeping" discipline) and the reset is counted;
+* hit/miss/reset counters per operation are exposed through
+  :meth:`cache_stats` so engines can surface them in their ``StatsBag``.
+
+Recursion depth is bounded by the variable order (every recursive call
+strictly descends it), so :meth:`new_var` guards deep-chain circuits
+against ``RecursionError`` by raising the interpreter recursion limit in
+step with the variable count.
 
 The node budget exists for the BDD-sweeping use case: when constructing the
 BDD of an AIG node overruns the budget, :class:`~repro.errors.BddLimitExceeded`
@@ -14,12 +38,25 @@ is raised and the sweeping engine falls back to a cut point, exactly the
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+import sys
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import BddError, BddLimitExceeded
 
 BDD_FALSE = 0
 BDD_TRUE = 1
+
+# Operation tags, one apply cache per tag.
+_OPS = ("ite", "and", "or", "xor", "not", "exists", "and_exists")
+
+# Safety margin on top of the variable-count-derived recursion depth:
+# interpreter frames already on the stack plus helper-call overhead.
+_RECURSION_MARGIN = 512
+
+# Never raise the interpreter recursion limit beyond this: past it the C
+# stack becomes the binding constraint and a deeper Python limit would
+# trade a catchable RecursionError for a hard crash.
+_RECURSION_LIMIT_CAP = 100_000
 
 
 class BddManager:
@@ -33,18 +70,47 @@ class BddManager:
     >>> g = mgr.exists(f, [1])     # exists y . x AND y  ==  x
     >>> g == x
     True
+    >>> mgr.and_exists(x, y, [1]) == x   # fused relational product
+    True
     """
 
-    def __init__(self, max_nodes: int | None = None) -> None:
+    def __init__(
+        self,
+        max_nodes: int | None = None,
+        max_cache_entries: int | None = None,
+    ) -> None:
         # Parallel arrays; slots 0/1 are the terminals (var = big sentinel).
         self._var: list[int] = [2**30, 2**30]
         self._low: list[int] = [-1, -1]
         self._high: list[int] = [-1, -1]
         self._unique: dict[tuple[int, int, int], int] = {}
+        # Operation-tagged apply caches.  ``_not_cache`` doubles as the
+        # complement table: both directions are stored, so "is g the
+        # negation of f?" is one O(1) lookup whenever the complement has
+        # ever been computed.
         self._ite_cache: dict[tuple[int, int, int], int] = {}
+        self._and_cache: dict[tuple[int, int], int] = {}
+        self._or_cache: dict[tuple[int, int], int] = {}
+        self._xor_cache: dict[tuple[int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        self._exists_cache: dict[tuple[int, int], int] = {}
+        self._and_exists_cache: dict[tuple[int, int, int], int] = {}
+        self._caches: dict[str, dict] = {
+            "ite": self._ite_cache,
+            "and": self._and_cache,
+            "or": self._or_cache,
+            "xor": self._xor_cache,
+            "not": self._not_cache,
+            "exists": self._exists_cache,
+            "and_exists": self._and_exists_cache,
+        }
+        self._hits: dict[str, int] = {op: 0 for op in _OPS}
+        self._misses: dict[str, int] = {op: 0 for op in _OPS}
+        self._resets: dict[str, int] = {op: 0 for op in _OPS}
         self._var_names: list[str] = []
         self._var_nodes: list[int] = []
         self.max_nodes = max_nodes
+        self.max_cache_entries = max_cache_entries
 
     # ------------------------------------------------------------------ #
     # Variables and raw nodes
@@ -70,6 +136,13 @@ class BddManager:
         self._var_names.append(name if name is not None else f"v{index}")
         node = self._make_node(index, BDD_FALSE, BDD_TRUE, exempt=True)
         self._var_nodes.append(node)
+        # Every kernel recursion strictly descends the variable order, so
+        # the worst-case Python stack is a small multiple of the variable
+        # count (an and_exists frame may open an or_ chain).  Deep-chain
+        # circuits used to die with RecursionError here.
+        needed = min(3 * (index + 1) + _RECURSION_MARGIN, _RECURSION_LIMIT_CAP)
+        if needed > sys.getrecursionlimit():
+            sys.setrecursionlimit(needed)
         return node
 
     def var_node(self, index: int) -> int:
@@ -117,63 +190,124 @@ class BddManager:
         self._unique[key] = node
         return node
 
-    # ------------------------------------------------------------------ #
-    # Core ITE
-    # ------------------------------------------------------------------ #
-
-    def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else — the single primitive everything else rides on."""
-        # Terminal and simple cases.
-        if f == BDD_TRUE:
-            return g
-        if f == BDD_FALSE:
-            return h
-        if g == h:
-            return g
-        if g == BDD_TRUE and h == BDD_FALSE:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
-        var = min(
-            self._var[f], self._var[g], self._var[h]
-        )
-        f0, f1 = self._cofactors(f, var)
-        g0, g1 = self._cofactors(g, var)
-        h0, h1 = self._cofactors(h, var)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
-        result = self._make_node(var, low, high)
-        self._ite_cache[key] = result
-        return result
-
-    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
-        if node <= 1 or self._var[node] != var:
-            return node, node
-        return self._low[node], self._high[node]
+    def _cache_put(self, op: str, cache: dict, key, value: int) -> None:
+        bound = self.max_cache_entries
+        if bound is not None and len(cache) >= bound:
+            cache.clear()
+            self._resets[op] += 1
+        cache[key] = value
 
     # ------------------------------------------------------------------ #
-    # Boolean algebra
+    # Negation (also the complement table)
     # ------------------------------------------------------------------ #
 
     def not_(self, f: int) -> int:
-        return self.ite(f, BDD_FALSE, BDD_TRUE)
+        """Negation; both directions are cached as the complement table."""
+        if f <= 1:
+            return f ^ 1
+        cached = self._not_cache.get(f)
+        if cached is not None:
+            self._hits["not"] += 1
+            return cached
+        self._misses["not"] += 1
+        result = self._make_node(
+            self._var[f], self.not_(self._low[f]), self.not_(self._high[f])
+        )
+        self._cache_put("not", self._not_cache, f, result)
+        self._not_cache[result] = f
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Binary boolean operators (tagged apply caches)
+    # ------------------------------------------------------------------ #
 
     def and_(self, f: int, g: int) -> int:
-        return self.ite(f, g, BDD_FALSE)
+        if f == g or g == BDD_TRUE:
+            return f
+        if f == BDD_TRUE:
+            return g
+        if f == BDD_FALSE or g == BDD_FALSE:
+            return BDD_FALSE
+        if self._not_cache.get(f) == g:
+            return BDD_FALSE
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            self._hits["and"] += 1
+            return cached
+        self._misses["and"] += 1
+        var_arr = self._var
+        vf, vg = var_arr[f], var_arr[g]
+        var = vf if vf < vg else vg
+        f0, f1 = (self._low[f], self._high[f]) if vf == var else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if vg == var else (g, g)
+        result = self._make_node(var, self.and_(f0, g0), self.and_(f1, g1))
+        self._cache_put("and", self._and_cache, key, result)
+        return result
 
     def or_(self, f: int, g: int) -> int:
-        return self.ite(f, BDD_TRUE, g)
+        if f == g or g == BDD_FALSE:
+            return f
+        if f == BDD_FALSE:
+            return g
+        if f == BDD_TRUE or g == BDD_TRUE:
+            return BDD_TRUE
+        if self._not_cache.get(f) == g:
+            return BDD_TRUE
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._or_cache.get(key)
+        if cached is not None:
+            self._hits["or"] += 1
+            return cached
+        self._misses["or"] += 1
+        var_arr = self._var
+        vf, vg = var_arr[f], var_arr[g]
+        var = vf if vf < vg else vg
+        f0, f1 = (self._low[f], self._high[f]) if vf == var else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if vg == var else (g, g)
+        result = self._make_node(var, self.or_(f0, g0), self.or_(f1, g1))
+        self._cache_put("or", self._or_cache, key, result)
+        return result
 
     def xor(self, f: int, g: int) -> int:
-        return self.ite(f, self.not_(g), g)
+        if f == g:
+            return BDD_FALSE
+        if f == BDD_FALSE:
+            return g
+        if g == BDD_FALSE:
+            return f
+        if f == BDD_TRUE:
+            return self.not_(g)
+        if g == BDD_TRUE:
+            return self.not_(f)
+        if self._not_cache.get(f) == g:
+            return BDD_TRUE
+        if f > g:
+            f, g = g, f
+        key = (f, g)
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            self._hits["xor"] += 1
+            return cached
+        self._misses["xor"] += 1
+        var_arr = self._var
+        vf, vg = var_arr[f], var_arr[g]
+        var = vf if vf < vg else vg
+        f0, f1 = (self._low[f], self._high[f]) if vf == var else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if vg == var else (g, g)
+        result = self._make_node(var, self.xor(f0, g0), self.xor(f1, g1))
+        self._cache_put("xor", self._xor_cache, key, result)
+        return result
 
     def xnor(self, f: int, g: int) -> int:
-        return self.ite(f, g, self.not_(g))
+        return self.not_(self.xor(f, g))
 
     def implies(self, f: int, g: int) -> int:
-        return self.ite(f, g, BDD_TRUE)
+        return self.or_(self.not_(f), g)
 
     def and_all(self, nodes: Iterable[int]) -> int:
         result = BDD_TRUE
@@ -190,6 +324,64 @@ class BddManager:
             if result == BDD_TRUE:
                 break
         return result
+
+    # ------------------------------------------------------------------ #
+    # Core ITE
+    # ------------------------------------------------------------------ #
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else with full terminal simplification.
+
+        Equivalent calls are rewritten to one canonical form before any
+        cache is consulted: ``ite(f, f, h)`` collapses to ``f OR h``,
+        ``ite(f, g, f)`` to ``f AND g``, and the complement-of-``f`` cases
+        (detected through the complement table) to their two-operand
+        forms, so they all share the tagged two-operand caches instead of
+        sprinkling synonyms across the ITE cache.
+        """
+        if f == BDD_TRUE:
+            return g
+        if f == BDD_FALSE:
+            return h
+        if g == h:
+            return g
+        not_f = self._not_cache.get(f)
+        if g == f:                   # ite(f, f, h) = f OR h
+            g = BDD_TRUE
+        elif g == not_f:             # ite(f, !f, h) = !f AND h
+            g = BDD_FALSE
+        if h == f:                   # ite(f, g, f) = f AND g
+            h = BDD_FALSE
+        elif h == not_f:             # ite(f, g, !f) = !f OR g
+            h = BDD_TRUE
+        if g == BDD_TRUE:
+            return f if h == BDD_FALSE else self.or_(f, h)
+        if g == BDD_FALSE:
+            return self.not_(f) if h == BDD_TRUE else self.and_(self.not_(f), h)
+        if h == BDD_FALSE:
+            return self.and_(f, g)
+        if h == BDD_TRUE:
+            return self.or_(self.not_(f), g)
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            self._hits["ite"] += 1
+            return cached
+        self._misses["ite"] += 1
+        var = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactors(f, var)
+        g0, g1 = self._cofactors(g, var)
+        h0, h1 = self._cofactors(h, var)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._make_node(var, low, high)
+        self._cache_put("ite", self._ite_cache, key, result)
+        return result
+
+    def _cofactors(self, node: int, var: int) -> tuple[int, int]:
+        if node <= 1 or self._var[node] != var:
+            return node, node
+        return self._low[node], self._high[node]
 
     # ------------------------------------------------------------------ #
     # Quantification, composition, restriction
@@ -218,34 +410,130 @@ class BddManager:
 
         return walk(f)
 
-    def exists(self, f: int, variables: Iterable[int]) -> int:
-        """Existential quantification over a set of variable indices."""
-        result = f
+    def cube_pos(self, variables: Iterable[int]) -> int:
+        """The positive cube (conjunction) of a set of variable indices.
+
+        Quantification cubes are exempt from the node budget: they are
+        linear in the variable count and a budgeted sweep must always be
+        able to *ask* for quantification.
+        """
+        result = BDD_TRUE
         for var in sorted(set(variables), reverse=True):
-            result = self._exists_one(result, var)
+            if not 0 <= var < len(self._var_nodes):
+                raise BddError(f"variable index {var} out of range")
+            result = self._make_node(var, BDD_FALSE, result, exempt=True)
         return result
 
-    def _exists_one(self, f: int, var: int) -> int:
-        cache: dict[int, int] = {}
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential quantification over a set of variable indices.
 
-        def walk(node: int) -> int:
-            if node <= 1 or self._var[node] > var:
-                return node
-            hit = cache.get(node)
-            if hit is not None:
-                return hit
-            if self._var[node] == var:
-                result = self.or_(self._low[node], self._high[node])
+        All variables are eliminated in one cube-directed recursion (not
+        one full rescan per variable) with a persistent tagged cache.
+        """
+        return self._exists_rec(f, self.cube_pos(variables))
+
+    def exists_cube(self, f: int, cube: int) -> int:
+        """Existential quantification over a prebuilt positive cube.
+
+        ``cube`` must be a conjunction of positive variable literals as
+        returned by :meth:`cube_pos`; engines that quantify the same
+        variable set every traversal step build the cube once.
+        """
+        return self._exists_rec(f, cube)
+
+    def _exists_rec(self, f: int, cube: int) -> int:
+        if f <= 1 or cube == BDD_TRUE:
+            return f
+        var_arr = self._var
+        high_arr = self._high
+        vf = var_arr[f]
+        # Cube variables above the support of f are already quantified
+        # away (exists x . f == f when x is absent) — drop them.
+        while cube > 1 and var_arr[cube] < vf:
+            cube = high_arr[cube]
+        if cube == BDD_TRUE:
+            return f
+        key = (f, cube)
+        cached = self._exists_cache.get(key)
+        if cached is not None:
+            self._hits["exists"] += 1
+            return cached
+        self._misses["exists"] += 1
+        low, high = self._low[f], high_arr[f]
+        if vf == var_arr[cube]:
+            rest = high_arr[cube]
+            r0 = self._exists_rec(low, rest)
+            if r0 == BDD_TRUE:           # TRUE disjunct: short-circuit
+                result = BDD_TRUE
             else:
-                result = self._make_node(
-                    self._var[node],
-                    walk(self._low[node]),
-                    walk(self._high[node]),
-                )
-            cache[node] = result
-            return result
+                result = self.or_(r0, self._exists_rec(high, rest))
+        else:
+            result = self._make_node(
+                vf, self._exists_rec(low, cube), self._exists_rec(high, cube)
+            )
+        self._cache_put("exists", self._exists_cache, key, result)
+        return result
 
-        return walk(f)
+    def and_exists(self, f: int, g: int, variables: Iterable[int]) -> int:
+        """Fused relational product: ``exists variables . f AND g``.
+
+        Never builds the full conjunction: the recursion quantifies each
+        cube variable at its level, short-circuits on a FALSE conjunct and
+        on a TRUE disjunct, and degrades gracefully to plain :meth:`and_`
+        once the cube is exhausted.  This is the image-computation
+        workhorse; see :meth:`and_exists_cube` to amortize cube
+        construction across calls.
+        """
+        return self._and_exists_rec(f, g, self.cube_pos(variables))
+
+    def and_exists_cube(self, f: int, g: int, cube: int) -> int:
+        """Fused ``exists cube . f AND g`` over a prebuilt positive cube."""
+        return self._and_exists_rec(f, g, cube)
+
+    def _and_exists_rec(self, f: int, g: int, cube: int) -> int:
+        if f == BDD_FALSE or g == BDD_FALSE:
+            return BDD_FALSE
+        if f == g or g == BDD_TRUE:
+            return self._exists_rec(f, cube)
+        if f == BDD_TRUE:
+            return self._exists_rec(g, cube)
+        if self._not_cache.get(f) == g:
+            return BDD_FALSE
+        var_arr = self._var
+        high_arr = self._high
+        vf, vg = var_arr[f], var_arr[g]
+        top = vf if vf < vg else vg
+        # Cube variables above both supports quantify to a no-op.
+        while cube > 1 and var_arr[cube] < top:
+            cube = high_arr[cube]
+        if cube == BDD_TRUE:
+            return self.and_(f, g)
+        if f > g:
+            f, g = g, f
+            vf, vg = vg, vf
+        key = (f, g, cube)
+        cached = self._and_exists_cache.get(key)
+        if cached is not None:
+            self._hits["and_exists"] += 1
+            return cached
+        self._misses["and_exists"] += 1
+        f0, f1 = (self._low[f], high_arr[f]) if vf == top else (f, f)
+        g0, g1 = (self._low[g], high_arr[g]) if vg == top else (g, g)
+        if var_arr[cube] == top:
+            rest = high_arr[cube]
+            r0 = self._and_exists_rec(f0, g0, rest)
+            if r0 == BDD_TRUE:           # TRUE disjunct: short-circuit
+                result = BDD_TRUE
+            else:
+                result = self.or_(r0, self._and_exists_rec(f1, g1, rest))
+        else:
+            result = self._make_node(
+                top,
+                self._and_exists_rec(f0, g0, cube),
+                self._and_exists_rec(f1, g1, cube),
+            )
+        self._cache_put("and_exists", self._and_exists_cache, key, result)
+        return result
 
     def forall(self, f: int, variables: Iterable[int]) -> int:
         return self.not_(self.exists(self.not_(f), variables))
@@ -279,10 +567,41 @@ class BddManager:
         return walk(f)
 
     def rename(self, f: int, mapping: Mapping[int, int]) -> int:
-        """Variable-to-variable renaming (indices to indices)."""
+        """Variable-to-variable renaming (indices to indices).
+
+        When the mapping preserves the variable order over the support of
+        ``f`` (and covers it), the BDD is relabeled in one linear pass —
+        the common "next-state back to current-state" case.  Otherwise it
+        falls back to general composition.
+        """
+        support = self.support(f)
+        applicable = {v: mapping.get(v, v) for v in support}
+        ordered = sorted(applicable)
+        images = [applicable[v] for v in ordered]
+        if images == sorted(set(images)):   # strictly increasing, distinct
+            return self._relabel(f, applicable)
         return self.compose(
             f, {old: self.var_node(new) for old, new in mapping.items()}
         )
+
+    def _relabel(self, f: int, mapping: Mapping[int, int]) -> int:
+        """Linear-time relabeling for an order-preserving variable map."""
+        cache: dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node <= 1:
+                return node
+            hit = cache.get(node)
+            if hit is not None:
+                return hit
+            var = mapping.get(self._var[node], self._var[node])
+            result = self._make_node(
+                var, walk(self._low[node]), walk(self._high[node])
+            )
+            cache[node] = result
+            return result
+
+        return walk(f)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -382,11 +701,66 @@ class BddManager:
         """The conjunction of variable literals (index -> polarity)."""
         result = BDD_TRUE
         for var in sorted(literals, reverse=True):
-            node = self.var_node(var)
-            literal = node if literals[var] else self.not_(node)
-            result = self.and_(literal, result)
+            if not 0 <= var < len(self._var_nodes):
+                raise BddError(f"variable index {var} out of range")
+            if literals[var]:
+                result = self._make_node(var, BDD_FALSE, result)
+            else:
+                result = self._make_node(var, result, BDD_FALSE)
         return result
+
+    # ------------------------------------------------------------------ #
+    # Cache management
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Per-operation cache statistics: hits, misses, entries, resets."""
+        return {
+            op: {
+                "hits": self._hits[op],
+                "misses": self._misses[op],
+                "entries": len(self._caches[op]),
+                "resets": self._resets[op],
+            }
+            for op in _OPS
+        }
+
+    def cache_summary(self) -> dict[str, float]:
+        """Aggregate cache counters (for StatsBag-style reporting)."""
+        hits = sum(self._hits.values())
+        misses = sum(self._misses.values())
+        lookups = hits + misses
+        return {
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "cache_entries": sum(len(c) for c in self._caches.values()),
+            "cache_resets": sum(self._resets.values()),
+        }
 
     def clear_caches(self) -> None:
         """Drop operation caches (unique table is kept — nodes stay valid)."""
-        self._ite_cache.clear()
+        for cache in self._caches.values():
+            cache.clear()
+
+    def trim_caches(self, bound: int | None = None) -> int:
+        """Clear every operation cache larger than ``bound`` entries.
+
+        ``bound`` defaults to a quarter of ``max_cache_entries`` — calls
+        between traversal frontier steps must trim *below* the hard bound
+        that :meth:`_cache_put` already enforces, or they would never fire.
+        With neither set this is a no-op.  Returns the number of caches
+        cleared.  Traversal engines call this between frontier steps so
+        one long run cannot accumulate unbounded cache garbage.
+        """
+        if bound is None and self.max_cache_entries is not None:
+            bound = self.max_cache_entries // 4
+        if bound is None:
+            return 0
+        cleared = 0
+        for op, cache in self._caches.items():
+            if len(cache) > bound:
+                cache.clear()
+                self._resets[op] += 1
+                cleared += 1
+        return cleared

@@ -119,7 +119,20 @@ def _cmd_mc(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    result = verify(netlist, method=args.method, max_depth=args.max_depth)
+    extra: dict[str, object] = {}
+    if args.method.startswith("reach_bdd"):
+        extra["image"] = args.image
+        if args.schedule is not None:
+            extra["schedule"] = args.schedule
+    elif args.method.startswith("reach_aig") and args.schedule is not None:
+        from repro.core.quantify import QuantifyOptions
+
+        quantify = QuantifyOptions.preset("full")
+        quantify.schedule = args.schedule
+        extra["quantify"] = quantify
+    result = verify(
+        netlist, method=args.method, max_depth=args.max_depth, **extra
+    )
     print(f"engine:  {result.engine}")
     print(f"verdict: {result.status.value}")
     print(f"iterations: {result.iterations}")
@@ -334,6 +347,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="output/input name to assert invariantly true ('!name' negates)",
     )
     p_mc.add_argument("--max-depth", type=int, default=100)
+    p_mc.add_argument(
+        "--schedule",
+        choices=["static", "min_dependence", "min_level", "cofactor_probe"],
+        help="quantification-scheduling heuristic for the reach engines "
+        "(shared by the AIG and BDD image pipelines)",
+    )
+    p_mc.add_argument(
+        "--image",
+        default="scheduled",
+        choices=["scheduled", "monolithic"],
+        help="BDD post-image pipeline: clustered partitioned relation with "
+        "early quantification, or conjoin-then-quantify",
+    )
     p_mc.add_argument(
         "--trace", action="store_true", help="print the counterexample states"
     )

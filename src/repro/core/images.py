@@ -6,10 +6,16 @@
   into the state set (no quantifier for next-state variables at all) —
   then existentially quantifies the primary inputs with the circuit-based
   engine;
-* **post-image** has no such shortcut: it builds the relational product
-  with next-state placeholder variables and quantifies both current state
-  and inputs (provided for completeness and forward-reachability
-  extensions; the paper's traversal is backward).
+* **post-image** builds the relational product with next-state placeholder
+  variables and quantifies both current state and inputs.  By default the
+  product is *partitioned*: the ``y_k == delta_k`` conjuncts are conjoined
+  in the order chosen by :func:`repro.core.schedule.schedule_variable_order`
+  and every variable is quantified as soon as no later conjunct depends on
+  it — the same plan vocabulary the BDD engine's scheduled image uses
+  (:func:`repro.core.schedule.plan_partitioned_quantification`).  Set
+  ``schedule_image=False`` (or ``partial=True``, which needs the whole
+  product for residual bookkeeping) for the monolithic
+  conjoin-then-quantify pipeline.
 """
 
 from __future__ import annotations
@@ -21,6 +27,10 @@ from repro.aig.ops import and_all, compose, support, xnor
 from repro.circuits.netlist import Netlist
 from repro.core.partial import PartialOutcome, PartialQuantifier
 from repro.core.quantify import QuantifyOptions, quantify_exists
+from repro.core.schedule import (
+    plan_partitioned_quantification,
+    schedule_variable_order,
+)
 from repro.core.substitution import preimage_by_substitution
 from repro.sweep.satsweep import SatSweeper
 from repro.util.stats import StatsBag
@@ -51,6 +61,7 @@ class ImageComputer:
         partial: bool = False,
         growth_factor: float = 2.0,
         share_solver: bool = True,
+        schedule_image: bool = True,
     ) -> None:
         netlist.validate()
         self.netlist = netlist
@@ -58,11 +69,15 @@ class ImageComputer:
         self.options = options if options is not None else QuantifyOptions()
         self.partial = partial
         self.growth_factor = growth_factor
+        self.schedule_image = schedule_image
         self._sweeper: SatSweeper | None = (
             SatSweeper(self.aig) if share_solver else None
         )
         self._next_functions = netlist.next_functions()
         self._placeholders: dict[int, int] | None = None
+        # (constraints, plan) for the scheduled product — the transition
+        # relation is invariant across calls, only the state set changes.
+        self._image_plan: tuple[list[int], list] | None = None
 
     # ------------------------------------------------------------------ #
     # Pre-image
@@ -102,7 +117,10 @@ class ImageComputer:
         """States reachable from ``state_set`` in one step.
 
         Relational product: ``exists s, i . S(s) AND AND_k (y_k == delta_k)``
-        followed by renaming y back to the state variables.
+        followed by renaming y back to the state variables.  Unless
+        ``schedule_image`` is off (or ``partial`` is on), the product is
+        conjoined partition by partition with early quantification along
+        the shared image-scheduling plan.
         """
         placeholders = self._next_placeholders()
         constraints = [
@@ -110,15 +128,18 @@ class ImageComputer:
             for node, fn in self._next_functions.items()
         ]
         constraints.append(self.netlist.constraint_edge())
-        product = self.aig.and_(state_set, and_all(self.aig, constraints))
-        to_quantify = [
-            node
-            for node in (
-                self.netlist.latch_nodes + self.netlist.input_nodes
-            )
-            if node in support(self.aig, product)
-        ]
-        result = self._quantify(product, to_quantify)
+        if self.schedule_image and not self.partial:
+            result = self._scheduled_product(state_set, constraints)
+        else:
+            product = self.aig.and_(state_set, and_all(self.aig, constraints))
+            to_quantify = [
+                node
+                for node in (
+                    self.netlist.latch_nodes + self.netlist.input_nodes
+                )
+                if node in support(self.aig, product)
+            ]
+            result = self._quantify(product, to_quantify)
         renamed = compose(
             self.aig,
             result.edge,
@@ -129,6 +150,63 @@ class ImageComputer:
             quantified=result.quantified,
             residual=result.residual,
             stats=result.stats,
+        )
+
+    def _scheduled_product(
+        self, state_set: int, constraints: list[int]
+    ) -> ImageResult:
+        """Partitioned relational product with early quantification.
+
+        The conjuncts are folded into the product along the
+        :func:`~repro.core.schedule.plan_partitioned_quantification` plan;
+        each plan step hands its freed variables to the circuit-based
+        quantifier at once, so no variable ever waits for conjuncts it does
+        not depend on.  The plan depends only on the transition relation,
+        so it is computed once and reused across traversal steps.
+        """
+        aig = self.aig
+        if self._image_plan is None:
+            # The full structural conjunction is cheap on AIGs; it only
+            # seeds the scheduling heuristics, the product never builds it.
+            relation = and_all(aig, constraints)
+            # Every current-state/input variable is a candidate — one the
+            # relation ignores is freed in the plan's first step and costs
+            # nothing unless the state set happens to read it.
+            candidates = (
+                self.netlist.latch_nodes + self.netlist.input_nodes
+            )
+            order = schedule_variable_order(
+                aig, relation, candidates, self.options.schedule
+            )
+            candidate_set = set(candidates)
+            supports = [
+                support(aig, term) & candidate_set for term in constraints
+            ]
+            self._image_plan = (
+                list(constraints),
+                plan_partitioned_quantification(order, supports),
+            )
+        constraints, plan = self._image_plan
+        stats = StatsBag()
+        product = state_set
+        quantified: list[int] = []
+        for step in plan:
+            for index in step.conjoin:
+                product = aig.and_(product, constraints[index])
+            if step.quantify:
+                outcome = quantify_exists(
+                    aig,
+                    product,
+                    step.quantify,
+                    self.options,
+                    sweeper=self._sweeper,
+                    order=step.quantify,
+                )
+                product = outcome.edge
+                quantified.extend(outcome.quantified)
+                stats.merge(outcome.stats)
+        return ImageResult(
+            edge=product, quantified=quantified, residual=[], stats=stats
         )
 
     # ------------------------------------------------------------------ #

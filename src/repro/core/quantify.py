@@ -128,6 +128,7 @@ def quantify_exists(
     variables: Iterable[int],
     options: QuantifyOptions | None = None,
     sweeper: SatSweeper | None = None,
+    order: Sequence[int] | None = None,
 ) -> QuantifyOutcome:
     """``exists {vars} . edge`` — quantifies one variable at a time.
 
@@ -135,6 +136,11 @@ def quantify_exists(
     quantified for free).  ``options.schedule`` picks the next variable at
     every step — by default the greedy minimum-dependence order, which
     keeps intermediate results small (see :mod:`repro.core.schedule`).
+
+    ``order`` overrides the dynamic scheduler with a precomputed static
+    order (e.g. one slice of a partitioned-image plan from
+    :func:`repro.core.schedule.schedule_variable_order`); variables not
+    mentioned in ``order`` fall back to caller order.
     """
     if options is None:
         options = QuantifyOptions()
@@ -144,6 +150,12 @@ def quantify_exists(
         sweeper = SatSweeper(aig)
     scheduler = get_scheduler(options.schedule)
     remaining = [v for v in dict.fromkeys(variables)]
+    remaining_set = set(remaining)
+    plan = (
+        [v for v in dict.fromkeys(order) if v in remaining_set]
+        if order is not None
+        else None
+    )
     current = edge
     quantified: list[int] = []
     while remaining:
@@ -151,7 +163,11 @@ def quantify_exists(
         remaining = [v for v in remaining if v in present]
         if not remaining:
             break
-        var = scheduler(aig, current, remaining)
+        if plan is not None:
+            plan = [v for v in plan if v in remaining]
+            var = plan[0] if plan else remaining[0]
+        else:
+            var = scheduler(aig, current, remaining)
         remaining.remove(var)
         current = quantify_exists_one(
             aig, current, var, options, sweeper=sweeper, stats=stats

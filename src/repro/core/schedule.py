@@ -21,7 +21,8 @@ Heuristics (all return the *next* variable to quantify):
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -130,6 +131,84 @@ def get_scheduler(name: str) -> Scheduler:
 def scheduler_names() -> list[str]:
     """All registered schedule names (benchmark sweeps iterate these)."""
     return sorted(_SCHEDULERS)
+
+
+def schedule_variable_order(
+    aig: Aig,
+    edge: int,
+    variables: Sequence[int],
+    schedule: str = "min_dependence",
+) -> list[int]:
+    """A complete quantification order by repeated scheduler application.
+
+    This is the *static* form of the per-step scheduling that
+    :func:`repro.core.quantify.quantify_exists` performs dynamically: the
+    chosen heuristic is applied to the fixed ``edge`` until every variable
+    is placed.  Image pipelines use it to decide the conjunction order and
+    early-quantification points of a partitioned transition relation —
+    both the AIG and the BDD engines speak this one vocabulary.
+    """
+    scheduler = get_scheduler(schedule)
+    remaining = list(dict.fromkeys(variables))
+    order: list[int] = []
+    while remaining:
+        var = scheduler(aig, edge, remaining)
+        remaining.remove(var)
+        order.append(var)
+    return order
+
+
+@dataclass(frozen=True)
+class ImageStep:
+    """One step of a partitioned image computation.
+
+    ``conjoin`` lists partition indices to AND into the running product;
+    ``quantify`` lists the variables that become quantifiable right after
+    (no remaining partition depends on them).
+    """
+
+    conjoin: tuple[int, ...]
+    quantify: tuple[int, ...]
+
+
+def plan_partitioned_quantification(
+    var_order: Sequence[int],
+    supports: Sequence[Iterable[int]],
+) -> list[ImageStep]:
+    """Schedule a partitioned relational product with early quantification.
+
+    Given the quantification order of the variables and the support of
+    each partition (transition-relation cluster), produce the IWLS95-style
+    plan: walk the variables in order, conjoin the not-yet-conjoined
+    partitions that depend on the current variable, then quantify every
+    variable no remaining partition mentions.  Partitions whose support
+    contains no scheduled variable are conjoined in a final step.
+
+    The plan is representation-agnostic — the AIG image computer executes
+    it with circuit conjunction + circuit quantification, the BDD engine
+    with ``and_exists`` — which is what lets both paths share the
+    scheduling heuristics of this module.
+    """
+    support_sets = [frozenset(s) for s in supports]
+    remaining = set(range(len(support_sets)))
+    quantified: set[int] = set()
+    steps: list[ImageStep] = []
+    for var in var_order:
+        if var in quantified:
+            continue
+        conjoin = sorted(c for c in remaining if var in support_sets[c])
+        remaining.difference_update(conjoin)
+        pending: set[int] = set()
+        for c in remaining:
+            pending |= support_sets[c]
+        free = tuple(
+            v for v in var_order if v not in quantified and v not in pending
+        )
+        quantified.update(free)
+        steps.append(ImageStep(tuple(conjoin), free))
+    if remaining:
+        steps.append(ImageStep(tuple(sorted(remaining)), ()))
+    return steps
 
 
 def dependence_cost(aig: Aig, edge: int, var_node: int) -> int:

@@ -16,7 +16,11 @@ from repro.mc.bmc import bmc
 from repro.mc.induction import k_induction
 from repro.mc.reach_aig import BackwardReachability, ReachOptions
 from repro.mc.reach_aig_fwd import ForwardReachability, ForwardReachOptions
-from repro.mc.reach_bdd import bdd_backward_reachability, bdd_forward_reachability
+from repro.mc.reach_bdd import (
+    BddReachOptions,
+    bdd_backward_reachability,
+    bdd_forward_reachability,
+)
 from repro.mc.result import Status, VerificationResult
 
 _METHODS = (
@@ -96,14 +100,16 @@ def verify(
             ForwardReachOptions, max_depth, {}, options
         )
         result = ForwardReachability(netlist, fwd_options).run()
-    elif method == "reach_bdd":
-        result = bdd_backward_reachability(
-            netlist, max_iterations=max_depth, **options
+    elif method in ("reach_bdd", "reach_bdd_fwd"):
+        bdd_options = _reach_options(
+            BddReachOptions, max_depth, {}, options
         )
-    elif method == "reach_bdd_fwd":
-        result = bdd_forward_reachability(
-            netlist, max_iterations=max_depth, **options
+        runner = (
+            bdd_backward_reachability
+            if method == "reach_bdd"
+            else bdd_forward_reachability
         )
+        result = runner(netlist, options=bdd_options)
     elif method == "bmc":
         result = bmc(netlist, max_depth=max_depth, **options)
     else:
