@@ -17,7 +17,6 @@ import pytest
 
 from repro.circuits import generators as G
 from repro.circuits.library import handshake
-from repro.mc.engine import verify
 
 DESIGNS = {
     "mod_counter_4_12": lambda: G.mod_counter(4, 12),
@@ -31,9 +30,11 @@ ENGINES = ["reach_aig", "reach_aig_fwd"]
 
 @pytest.mark.parametrize("design", list(DESIGNS))
 @pytest.mark.parametrize("engine", ENGINES)
-def test_t11_forward_vs_backward(benchmark, record_row, design, engine):
+def test_t11_forward_vs_backward(
+    benchmark, record_row, session, design, engine
+):
     def run():
-        return verify(DESIGNS[design](), method=engine)
+        return session.verify(DESIGNS[design](), engine=engine)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     vars_quantified = result.stats.get("vars_quantified", 0)

@@ -16,7 +16,6 @@ import pytest
 from repro.aig.graph import edge_not
 from repro.aig.ops import and_all
 from repro.circuits.generators import arbiter
-from repro.mc.engine import verify
 
 CLIENTS = [3, 4, 5]
 MODES = ["unconstrained", "constrained"]
@@ -36,10 +35,10 @@ def build(clients: int, constrained: bool):
 
 @pytest.mark.parametrize("clients", CLIENTS)
 @pytest.mark.parametrize("mode", MODES)
-def test_t12_constraint_pruning(benchmark, record_row, clients, mode):
+def test_t12_constraint_pruning(benchmark, record_row, session, clients, mode):
     def run():
-        return verify(
-            build(clients, mode == "constrained"), method="reach_aig"
+        return session.verify(
+            build(clients, mode == "constrained"), engine="reach_aig"
         )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

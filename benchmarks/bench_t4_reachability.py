@@ -8,8 +8,8 @@ representation size (AND nodes vs. BDD nodes) and wall time.
 
 import pytest
 
+from repro.api import VerificationTask
 from repro.circuits import generators as G
-from repro.mc import verify
 
 BENCHMARKS = {
     "mod_counter_5_20": lambda: G.mod_counter(5, 20),
@@ -29,14 +29,18 @@ ENGINES = ["reach_aig", "reach_bdd"]
 
 @pytest.mark.parametrize("design", list(BENCHMARKS))
 @pytest.mark.parametrize("engine", ENGINES)
-def test_t4_reachability(benchmark, record_row, record_json, design, engine):
+def test_t4_reachability(
+    benchmark, record_row, record_json, session, design, engine
+):
     import time
 
     wall = {}
 
     def run():
         start = time.perf_counter()
-        result = verify(BENCHMARKS[design](), method=engine, max_depth=200)
+        result = session.run(
+            VerificationTask(BENCHMARKS[design](), engine=engine, max_depth=200)
+        )
         wall["seconds"] = time.perf_counter() - start
         return result
 

@@ -26,6 +26,19 @@ _json_records: list[dict] = []
 
 
 @pytest.fixture
+def session():
+    """A fresh :class:`repro.api.Session` per benchmark.
+
+    Engine runs go through the typed task API; the session is
+    function-scoped so its structural-hash result cache is cold for
+    every benchmark (a warm cache would time the cache, not the engine).
+    """
+    from repro.api import Session
+
+    return Session()
+
+
+@pytest.fixture
 def record_row():
     """Append one formatted row to the shared results file."""
 

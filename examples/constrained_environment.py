@@ -16,8 +16,8 @@ Run:  python examples/constrained_environment.py
 
 from repro.aig.graph import edge_not
 from repro.aig.ops import and_all
+from repro.api import Session
 from repro.circuits.generators import arbiter
-from repro.mc import verify
 
 
 def build(constrain: str | None):
@@ -35,19 +35,20 @@ def build(constrain: str | None):
 
 
 def main() -> None:
+    session = Session()
     # -- 1. unconstrained: the bug is real -------------------------------
-    result = verify(build(None), method="reach_aig")
+    result = session.verify(build(None), engine="reach_aig")
     print(f"unconstrained arbiter: {result.status.value} "
           f"(collision at depth {result.trace.depth})")
 
     # -- 2. assumed environment: the design is fine -----------------------
     for method in ("reach_aig", "reach_aig_fwd", "reach_bdd", "k_induction"):
-        result = verify(build("at_most_one"), method=method)
+        result = session.verify(build("at_most_one"), engine=method)
         print(f"  with 'at most one request' via {method}: "
               f"{result.status.value}")
 
     # -- 3. a weaker assumption leaves a narrower bug ---------------------
-    result = verify(build("r0_r1_exclusive"), method="reach_aig")
+    result = session.verify(build("r0_r1_exclusive"), engine="reach_aig")
     netlist = build("r0_r1_exclusive")
     violation = result.trace.violation_inputs
     requests = {f"req{k}": int(violation[node])

@@ -5,13 +5,16 @@ Reproduces the paper's framing in miniature: the circuit-based traversal
 (reach_aig) against the BDD baseline, pure all-SAT pre-image, the Section-4
 hybrid, BMC and k-induction — same designs, same verdicts, different costs.
 
+The engine list is *derived from the registry* (every non-composite
+engine), and the runs go through one :class:`repro.api.Session`, so the
+whole suite shares a structural-hash result cache and reports progress
+through events rather than polling.
+
 Run:  python examples/engine_shootout.py
 """
 
-import time
-
+from repro.api import Session, VerificationTask, engines_with
 from repro.circuits import generators
-from repro.mc import Status, verify
 
 BENCHMARKS = [
     ("mod_counter(5,20) safe", lambda: generators.mod_counter(5, 20)),
@@ -23,34 +26,39 @@ BENCHMARKS = [
     ("bug_at_depth(8)", lambda: generators.bug_at_depth(8)),
 ]
 
-METHODS = [
-    "reach_aig",          # the paper's engine
-    "reach_aig_allsat",   # Ganai-style all-solutions pre-image
-    "reach_aig_hybrid",   # Section 4 combination
-    "reach_bdd",          # canonical baseline
-    "bmc",                # falsification only
-    "k_induction",
-]
+# Every real engine in the registry, in registration order; the composite
+# portfolio would just re-run the others.
+METHODS = [spec.name for spec in engines_with(composite=False)]
 
 
 def main() -> None:
+    session = Session()
     header = f"{'design':<24}" + "".join(f"{m:>20}" for m in METHODS)
     print(header)
     print("-" * len(header))
     for name, build in BENCHMARKS:
-        row = [f"{name:<24}"]
-        for method in METHODS:
-            start = time.perf_counter()
-            result = verify(build(), method=method, max_depth=60)
-            elapsed = time.perf_counter() - start
-            if result.status is Status.FAILED:
+        tasks = [
+            VerificationTask(build(), engine=method, max_depth=60)
+            for method in METHODS
+        ]
+        cells = {}
+
+        def record(event):
+            if event.kind != "task_finished":
+                return
+            result = event.result
+            if result.failed:
                 tag = f"cex@{result.trace.depth}"
-            elif result.status is Status.PROVED:
+            elif result.proved:
                 tag = "proved"
             else:
                 tag = "unknown"
-            row.append(f"{tag} {elapsed * 1000:6.0f}ms".rjust(20))
-        print("".join(row))
+            cells[event.task.engine] = f"{tag} {event.elapsed * 1000:6.0f}ms"
+
+        session.verify_many(tasks, on_progress=record)
+        print(f"{name:<24}" + "".join(
+            cells[method].rjust(20) for method in METHODS
+        ))
     print(
         "\nNotes: BMC cannot prove safe designs (unknown is expected); all "
         "other engines agree on every verdict, and counterexample depths "

@@ -12,10 +12,10 @@ Demonstrates the circuit I/O layer around the verification engines:
 Run:  python examples/file_formats.py
 """
 
+from repro.api import Session
 from repro.circuits.bench_format import parse_bench, serialize_bench
 from repro.circuits.blif import parse_blif, serialize_blif
 from repro.circuits.library import handshake, s27, s27_with_property
-from repro.mc import verify
 
 
 def main() -> None:
@@ -36,13 +36,14 @@ def main() -> None:
     print(f"BLIF round trip ok ({len(blif_text.splitlines())} lines)")
 
     # -- 3. verify an invariant on both engines ----------------------------
+    session = Session()
     instance = s27_with_property()
     for method in ("reach_aig", "reach_bdd"):
-        result = verify(instance, method=method)
+        result = session.verify(instance, engine=method)
         print(f"s27 'never G5 and G6' via {method}: {result.status.value}")
 
     buggy = handshake(safe=False)
-    result = verify(buggy, method="reach_aig")
+    result = session.verify(buggy, engine="reach_aig")
     print(f"buggy handshake: {result.status.value} "
           f"(counterexample depth {result.trace.depth})")
 

@@ -5,7 +5,7 @@ This walks the full happy path of the library in ~40 lines:
 
 1. build a sequential circuit (a modulo-10 counter with a safety property),
 2. run the paper's engine — backward reachability with AIG state sets and
-   circuit-based quantification,
+   circuit-based quantification — through the typed Session API,
 3. inspect the verdict and statistics,
 4. break the design and watch the engine produce a concrete,
    replay-validated counterexample trace.
@@ -13,8 +13,8 @@ This walks the full happy path of the library in ~40 lines:
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Session, VerificationTask
 from repro.circuits import generators
-from repro.mc import verify
 
 
 def main() -> None:
@@ -24,7 +24,8 @@ def main() -> None:
           f"({counter.num_latches} latches, {counter.aig.num_ands} AND gates)")
 
     # -- 2. the paper's engine ------------------------------------------
-    result = verify(counter, method="reach_aig")
+    session = Session()
+    result = session.run(VerificationTask(counter, engine="reach_aig"))
     print(f"verdict: {result.status.value} "
           f"after {result.iterations} pre-image iterations")
     print(f"peak state-set size: "
@@ -32,7 +33,7 @@ def main() -> None:
 
     # -- 3. the same design with a property that is actually violated ----
     buggy = generators.mod_counter(width=4, modulus=10, safe=False)
-    result = verify(buggy, method="reach_aig")
+    result = session.run(VerificationTask(buggy, engine="reach_aig"))
     print(f"\nbuggy variant: {result.status.value} "
           f"(counterexample of depth {result.trace.depth})")
 

@@ -16,10 +16,10 @@ structural comparison is hopeless, sequential analysis is required.
 Run:  python examples/sequential_equivalence.py
 """
 
+from repro.api import Session
 from repro.circuits.generators import mod_counter
 from repro.circuits.netlist import Netlist
 from repro.circuits.product import sequential_miter
-from repro.mc import verify
 
 
 def binary_counter(width: int) -> Netlist:
@@ -84,8 +84,9 @@ def main() -> None:
     print(f"miter: {miter.num_latches} latches, "
           f"{miter.aig.num_ands} ANDs, property = all bit outputs agree")
 
+    session = Session()
     for method in ("reach_aig", "reach_bdd"):
-        result = verify(miter, method=method)
+        result = session.verify(miter, engine=method)
         print(f"  {method}: {result.status.value} "
               f"in {result.iterations} iterations")
 
@@ -93,7 +94,7 @@ def main() -> None:
     broken = gray_encoded_counter(width)
     broken.set_output("bit2", broken.outputs["bit3"])
     miter = sequential_miter(binary_counter(width), broken)
-    result = verify(miter, method="reach_aig")
+    result = session.verify(miter, engine="reach_aig")
     print(f"\nbroken decoder: {result.status.value} "
           f"(diverges after {result.trace.depth} steps)")
     assert result.trace.validate(

@@ -15,7 +15,9 @@ The three entry points most users want:
 >>> result.status
 <Status.PROVED: 'proved'>
 
-* :func:`repro.mc.verify` — one front end over all seven engines;
+* :func:`repro.mc.verify` — one front end over every registered engine;
+* :class:`repro.api.Session` — the typed task API: engine registry,
+  budgets, progress events, cancellation, shared result caching;
 * :func:`repro.core.quantify_exists` — the paper's quantification engine
   on raw AIG edges;
 * the ``repro`` console script — ``repro mc design.bench --property ok``.

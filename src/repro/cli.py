@@ -108,7 +108,6 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 
 def _cmd_mc(args: argparse.Namespace) -> int:
     from repro.mc import verify
-    from repro.mc.result import Status
 
     netlist = _load(args.file)
     if args.property is not None:
@@ -157,9 +156,9 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                     str(int(state[node])) for node in latch_order
                 )
                 print(f"  step {step}: {bits}")
-    if result.status is Status.FAILED:
+    if result.failed:
         return 1
-    if result.status is Status.UNKNOWN:
+    if not result.status.is_conclusive:
         return 3
     return 0
 
@@ -311,6 +310,13 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Engine and schedule choices come from the registries, so a newly
+    # registered engine appears in the CLI without edits here.
+    from repro.api.registry import engine_names
+    from repro.core.schedule import scheduler_names
+    from repro.portfolio.options import PortfolioOptions
+    from repro.portfolio.policy import POLICIES, default_engines
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -336,11 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument(
         "--method",
         default="reach_aig",
-        choices=[
-            "reach_aig", "reach_aig_fwd", "reach_aig_allsat",
-            "reach_aig_hybrid", "reach_bdd", "reach_bdd_fwd",
-            "bmc", "k_induction",
-        ],
+        choices=list(engine_names()),
     )
     p_mc.add_argument(
         "--property",
@@ -349,7 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mc.add_argument("--max-depth", type=int, default=100)
     p_mc.add_argument(
         "--schedule",
-        choices=["static", "min_dependence", "min_level", "cofactor_probe"],
+        choices=scheduler_names(),
         help="quantification-scheduling heuristic for the reach engines "
         "(shared by the AIG and BDD image pipelines)",
     )
@@ -377,18 +379,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_port.add_argument("files", nargs="+", metavar="FILE")
     p_port.add_argument(
         "--engines",
-        help="comma-separated engine list (default: bmc,k_induction,"
-        "reach_aig,reach_bdd)",
+        help="comma-separated engine list "
+        f"(default: {','.join(default_engines())})",
     )
     p_port.add_argument(
         "--policy",
         default="race_all",
-        choices=["race_all", "sequential_fallback", "predict"],
+        choices=list(POLICIES),
     )
     p_port.add_argument(
         "--timeout",
         type=float,
-        default=5.0,
+        default=PortfolioOptions.budget,
         help="per-engine wall-clock budget in seconds",
     )
     p_port.add_argument(
@@ -426,7 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_quant.add_argument(
         "--schedule",
         default="min_dependence",
-        choices=["static", "min_dependence", "min_level", "cofactor_probe"],
+        choices=scheduler_names(),
     )
     p_quant.set_defaults(func=_cmd_quantify)
 

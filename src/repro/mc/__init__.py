@@ -19,9 +19,13 @@ named in the paper:
 from repro.mc.result import Status, Trace, VerificationResult
 from repro.mc.reach_aig import BackwardReachability, ReachOptions
 from repro.mc.reach_aig_fwd import ForwardReachability, ForwardReachOptions
-from repro.mc.reach_bdd import bdd_backward_reachability, bdd_forward_reachability
-from repro.mc.bmc import bmc
-from repro.mc.induction import k_induction
+from repro.mc.reach_bdd import (
+    BddReachOptions,
+    bdd_backward_reachability,
+    bdd_forward_reachability,
+)
+from repro.mc.bmc import BmcOptions, bmc
+from repro.mc.induction import KInductionOptions, k_induction
 from repro.mc.preimage_sat import allsat_preimage
 from repro.mc.engine import verify
 from repro.mc.minimize import MinimizedTrace, minimize_trace
@@ -34,9 +38,12 @@ __all__ = [
     "ReachOptions",
     "ForwardReachability",
     "ForwardReachOptions",
+    "BddReachOptions",
     "bdd_backward_reachability",
     "bdd_forward_reachability",
+    "BmcOptions",
     "bmc",
+    "KInductionOptions",
     "k_induction",
     "allsat_preimage",
     "verify",

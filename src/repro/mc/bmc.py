@@ -14,6 +14,8 @@ step by step with small SAT calls.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.aig.graph import edge_not
 from repro.circuits.netlist import Netlist
 from repro.core.images import ImageComputer
@@ -23,6 +25,17 @@ from repro.mc.trace import concretize_suffix, find_violation_inputs
 from repro.mc.unroll import Unroller
 from repro.sat.solver import SolveResult, Solver
 from repro.util.stats import StatsBag
+
+
+@dataclass
+class BmcOptions:
+    """Typed configuration of :func:`bmc` (the engine registry's option
+    dataclass for the ``bmc`` engine)."""
+
+    max_depth: int = 100
+    preimage_folds: int = 0
+    quantify_options: QuantifyOptions | None = None
+    solver: Solver | None = None
 
 
 def bmc(

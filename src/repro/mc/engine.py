@@ -1,19 +1,23 @@
-"""Unified verification front-end.
+"""Built-in engine registrations and the legacy ``verify`` front-end.
 
-``verify(netlist, method=...)`` dispatches to every engine in the package
-with one calling convention, which is what the examples and the benchmark
-harness use.  Counterexample traces are validated by replay before being
-returned — an engine producing a bogus trace is a bug, not a result.
+Every engine in the package is described here exactly once, as an
+:class:`repro.api.registry.EngineSpec` — name, capability flags, typed
+option dataclass, runner.  The portfolio's candidate selection, the CLI
+``--method`` choices, and :class:`repro.api.Session` all derive from
+these registrations; nothing else hand-maintains an engine list.
+
+``verify(netlist, method=...)`` remains the one-call front door (the
+examples, benchmarks, and the portfolio's worker processes use it) and
+is now a thin shim over the registry: resolve the spec, normalize the
+options, run, replay-validate counterexamples.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
 from repro.circuits.netlist import Netlist
-from repro.errors import ModelCheckingError
-from repro.mc.bmc import bmc
-from repro.mc.induction import k_induction
+from repro.api.registry import get_engine, register_engine
+from repro.mc.bmc import BmcOptions, bmc
+from repro.mc.induction import KInductionOptions, k_induction
 from repro.mc.reach_aig import BackwardReachability, ReachOptions
 from repro.mc.reach_aig_fwd import ForwardReachability, ForwardReachOptions
 from repro.mc.reach_bdd import (
@@ -21,51 +25,152 @@ from repro.mc.reach_bdd import (
     bdd_backward_reachability,
     bdd_forward_reachability,
 )
-from repro.mc.result import Status, VerificationResult
+from repro.mc.result import VerificationResult
+from repro.portfolio.options import PortfolioOptions
 
-_METHODS = (
-    "reach_aig",
-    "reach_aig_fwd",
-    "reach_aig_allsat",
-    "reach_aig_hybrid",
-    "reach_bdd",
-    "reach_bdd_fwd",
-    "bmc",
-    "k_induction",
-    "portfolio",
+
+@register_engine(
+    name="bmc",
+    summary="bounded model checking; unbeatable on shallow bugs, "
+    "proves nothing",
+    options_class=BmcOptions,
+    depth_field="max_depth",
+    complete=False,
+    quick=True,
+    direction="forward",
 )
+def _run_bmc(netlist: Netlist, options: BmcOptions) -> VerificationResult:
+    return bmc(
+        netlist,
+        max_depth=options.max_depth,
+        preimage_folds=options.preimage_folds,
+        quantify_options=options.quantify_options,
+        solver=options.solver,
+    )
 
-# The allsat/hybrid methods are reach_aig with a forced elimination mode.
-_REACH_MODES = {
-    "reach_aig": {},
-    "reach_aig_allsat": {"input_elimination": "allsat"},
-    "reach_aig_hybrid": {"input_elimination": "hybrid"},
-}
+
+@register_engine(
+    name="k_induction",
+    summary="temporal induction; two SAT calls when the property is "
+    "inductive, complete with unique-states strengthening",
+    options_class=KInductionOptions,
+    depth_field="max_k",
+    quick=True,
+    direction="any",
+)
+def _run_k_induction(
+    netlist: Netlist, options: KInductionOptions
+) -> VerificationResult:
+    return k_induction(
+        netlist,
+        max_k=options.max_k,
+        unique_states=options.unique_states,
+        preimage_folds=options.preimage_folds,
+        quantify_options=options.quantify_options,
+    )
 
 
-def _reach_options(
-    options_class: type,
-    max_depth: int,
-    forced: dict,
-    options: dict,
-):
-    """One normalization for every reach branch.
+def _run_backward_reachability(
+    netlist: Netlist, options: ReachOptions
+) -> VerificationResult:
+    return BackwardReachability(netlist, options).run()
 
-    Callers either pass a ready-made ``options=...`` object (whose
-    ``max_iterations`` is respected, with the method's forced fields
-    overriding) or loose keyword options merged into a fresh object.
-    """
-    provided = options.pop("options", None)
-    if provided is not None:
-        if options:
-            raise ModelCheckingError(
-                f"pass either options=... or loose keywords, not both: "
-                f"{sorted(options)}"
-            )
-        return (
-            dataclasses.replace(provided, **forced) if forced else provided
-        )
-    return options_class(max_iterations=max_depth, **forced, **options)
+
+# One runner, three registrations: the allsat/hybrid variants differ
+# only in the elimination mode their name forces.
+register_engine(
+    name="reach_aig",
+    summary="the paper's engine: backward AIG traversal with "
+    "circuit-based quantification",
+    options_class=ReachOptions,
+    depth_field="max_iterations",
+)(_run_backward_reachability)
+
+register_engine(
+    name="reach_aig_allsat",
+    summary="backward AIG traversal, all-SAT pre-image "
+    "(Ganai-style enumeration baseline)",
+    options_class=ReachOptions,
+    depth_field="max_iterations",
+    forced_options={"input_elimination": "allsat"},
+    variant_of="reach_aig",
+)(_run_backward_reachability)
+
+register_engine(
+    name="reach_aig_hybrid",
+    summary="backward AIG traversal, partial circuit quantification "
+    "with all-SAT on the residual (the Section-4 combination)",
+    options_class=ReachOptions,
+    depth_field="max_iterations",
+    forced_options={"input_elimination": "hybrid"},
+    variant_of="reach_aig",
+)(_run_backward_reachability)
+
+
+@register_engine(
+    name="reach_aig_fwd",
+    summary="forward AIG traversal; post-images, hardest "
+    "quantification load",
+    options_class=ForwardReachOptions,
+    depth_field="max_iterations",
+    direction="forward",
+)
+def _run_reach_aig_fwd(
+    netlist: Netlist, options: ForwardReachOptions
+) -> VerificationResult:
+    return ForwardReachability(netlist, options).run()
+
+
+@register_engine(
+    name="reach_bdd",
+    summary="backward BDD traversal (the canonical baseline)",
+    options_class=BddReachOptions,
+    depth_field="max_iterations",
+)
+def _run_reach_bdd(
+    netlist: Netlist, options: BddReachOptions
+) -> VerificationResult:
+    return bdd_backward_reachability(netlist, options=options)
+
+
+@register_engine(
+    name="reach_bdd_fwd",
+    summary="forward BDD traversal with the scheduled partitioned image",
+    options_class=BddReachOptions,
+    depth_field="max_iterations",
+    direction="forward",
+)
+def _run_reach_bdd_fwd(
+    netlist: Netlist, options: BddReachOptions
+) -> VerificationResult:
+    return bdd_forward_reachability(netlist, options=options)
+
+
+@register_engine(
+    name="portfolio",
+    summary="races the other engines; first validated verdict wins",
+    options_class=PortfolioOptions,
+    depth_field="max_depth",
+    direction="any",
+    composite=True,
+)
+def _run_portfolio(
+    netlist: Netlist, options: PortfolioOptions
+) -> VerificationResult:
+    from repro.portfolio.api import portfolio_verify
+
+    return portfolio_verify(
+        netlist,
+        max_depth=options.max_depth,
+        engines=options.engines,
+        policy=options.policy,
+        budget=options.budget,
+        jobs=options.jobs,
+        cache=options.cache,
+        fraig_preprocess=options.fraig_preprocess,
+        stats=options.stats,
+        engine_options=options.engine_options,
+    )
 
 
 def verify(
@@ -76,47 +181,16 @@ def verify(
 ) -> VerificationResult:
     """Run one verification engine on a netlist.
 
-    ``max_depth`` bounds BMC depth / induction k / traversal iterations.
-    Extra keyword options are forwarded to the engine.  Traces of FAILED
-    results are replay-validated.  ``method="portfolio"`` races several
-    engines via :func:`repro.portfolio.portfolio_verify` (extra keywords
-    configure the portfolio).
-    """
-    if method not in _METHODS:
-        raise ModelCheckingError(
-            f"unknown method {method!r}; choose from {_METHODS}"
-        )
-    if method == "portfolio":
-        from repro.portfolio.api import portfolio_verify
+    ``method`` names any engine in the registry
+    (:func:`repro.api.engine_names` enumerates them).  ``max_depth``
+    bounds BMC depth / induction k / traversal iterations.  Extra keyword
+    options populate the engine's option dataclass (or pass a ready-made
+    object as ``options=...``).  Traces of FAILED results are
+    replay-validated.  ``method="portfolio"`` races several engines via
+    :func:`repro.portfolio.portfolio_verify`.
 
-        result = portfolio_verify(netlist, max_depth=max_depth, **options)
-    elif method in _REACH_MODES:
-        reach_options = _reach_options(
-            ReachOptions, max_depth, _REACH_MODES[method], options
-        )
-        result = BackwardReachability(netlist, reach_options).run()
-    elif method == "reach_aig_fwd":
-        fwd_options = _reach_options(
-            ForwardReachOptions, max_depth, {}, options
-        )
-        result = ForwardReachability(netlist, fwd_options).run()
-    elif method in ("reach_bdd", "reach_bdd_fwd"):
-        bdd_options = _reach_options(
-            BddReachOptions, max_depth, {}, options
-        )
-        runner = (
-            bdd_backward_reachability
-            if method == "reach_bdd"
-            else bdd_forward_reachability
-        )
-        result = runner(netlist, options=bdd_options)
-    elif method == "bmc":
-        result = bmc(netlist, max_depth=max_depth, **options)
-    else:
-        result = k_induction(netlist, max_k=max_depth, **options)
-    if result.status is Status.FAILED and result.trace is not None:
-        if not result.trace.validate(netlist):
-            raise ModelCheckingError(
-                f"{method} produced an invalid counterexample trace"
-            )
-    return result
+    For budgeted, observable, batched runs use
+    :class:`repro.api.Session`; this function remains the thin
+    single-call path.
+    """
+    return get_engine(method).verify(netlist, max_depth=max_depth, **options)

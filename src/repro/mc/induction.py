@@ -13,6 +13,8 @@ that many frames of input variables from the induction queries.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.aig.graph import edge_not
 from repro.circuits.netlist import Netlist
 from repro.core.images import ImageComputer
@@ -22,6 +24,17 @@ from repro.mc.trace import concretize_suffix, find_violation_inputs
 from repro.mc.unroll import Unroller
 from repro.sat.solver import SolveResult, Solver
 from repro.util.stats import StatsBag
+
+
+@dataclass
+class KInductionOptions:
+    """Typed configuration of :func:`k_induction` (the engine registry's
+    option dataclass for the ``k_induction`` engine)."""
+
+    max_k: int = 100
+    unique_states: bool = True
+    preimage_folds: int = 0
+    quantify_options: QuantifyOptions | None = None
 
 
 def k_induction(

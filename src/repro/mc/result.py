@@ -1,12 +1,70 @@
-"""Verification outcomes shared by every engine."""
+"""Verification outcomes shared by every engine.
+
+Besides the in-memory types, this module owns their wire format:
+:meth:`Trace.to_dict` / :meth:`VerificationResult.to_dict` produce
+JSON-serializable payloads that round-trip through
+:meth:`Trace.from_dict` / :meth:`VerificationResult.from_dict`.  Two
+encodings exist for assignments:
+
+* ``"nodes"`` (the default) keys assignments by AIG node id — faithful
+  within one process/manager;
+* ``"positional"`` (``netlist=`` given) encodes assignments as
+  bit-strings over the netlist's latch and input registration order —
+  stable across AIG node renumbering, which is what the portfolio's
+  structural-hash result cache needs: a record written by one manager
+  must decode into a valid trace for a differently-numbered manager of
+  the same circuit.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.circuits.netlist import Netlist
 from repro.util.stats import StatsBag
+
+_MISSING = "x"
+
+
+def _encode_bits(
+    assignment: Mapping[int, bool] | None, nodes: list[int]
+) -> str | None:
+    if assignment is None:
+        return None
+    return "".join(
+        _MISSING if node not in assignment else str(int(assignment[node]))
+        for node in nodes
+    )
+
+
+def _decode_bits(bits: str | None, nodes: list[int]) -> dict[int, bool] | None:
+    if bits is None:
+        return None
+    if len(bits) != len(nodes):
+        raise ValueError("bit-string length does not match netlist")
+    return {
+        node: bit == "1"
+        for node, bit in zip(nodes, bits)
+        if bit != _MISSING
+    }
+
+
+def _encode_nodes(
+    assignment: Mapping[int, bool] | None,
+) -> dict[str, bool] | None:
+    if assignment is None:
+        return None
+    return {str(node): bool(value) for node, value in assignment.items()}
+
+
+def _decode_nodes(
+    payload: Mapping[str, bool] | None,
+) -> dict[int, bool] | None:
+    if payload is None:
+        return None
+    return {int(node): bool(value) for node, value in payload.items()}
 
 
 class Status(enum.Enum):
@@ -16,8 +74,19 @@ class Status(enum.Enum):
     FAILED = "failed"          # a counterexample trace exists
     UNKNOWN = "unknown"        # resource limit / incomplete method
 
+    @property
+    def is_conclusive(self) -> bool:
+        """True for PROVED and FAILED, False for UNKNOWN."""
+        return self is not Status.UNKNOWN
+
     def __bool__(self) -> bool:
-        return self is Status.PROVED
+        # ``if result.status:`` used to be truthy only for PROVED, which
+        # silently conflated FAILED with UNKNOWN.  The ambiguity is now a
+        # loud error instead of a wrong branch.
+        raise TypeError(
+            "Status truthiness is ambiguous; use status.is_conclusive, "
+            "or the result's .proved / .failed properties"
+        )
 
 
 @dataclass
@@ -67,6 +136,73 @@ class Trace:
             self.states[-1], self.violation_inputs
         )
 
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self, netlist: Netlist | None = None) -> dict:
+        """JSON-serializable form; positional over ``netlist`` if given."""
+        if netlist is None:
+            return {
+                "format": "nodes",
+                "states": [_encode_nodes(state) for state in self.states],
+                "inputs": [_encode_nodes(step) for step in self.inputs],
+                "violation_inputs": _encode_nodes(self.violation_inputs),
+            }
+        latches = netlist.latch_nodes
+        inputs = netlist.input_nodes
+        return {
+            "format": "positional",
+            "states": [_encode_bits(state, latches) for state in self.states],
+            "inputs": [_encode_bits(step, inputs) for step in self.inputs],
+            "violation_inputs": _encode_bits(self.violation_inputs, inputs),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, netlist: Netlist | None = None
+    ) -> "Trace":
+        """Rebuild a trace serialized by :meth:`to_dict`.
+
+        Positional payloads need the ``netlist`` they are to be decoded
+        against; node-keyed payloads decode standalone.
+        """
+        fmt = payload.get("format")
+        if fmt is None:
+            # Records written before the "format" key existed are always
+            # positional bit-strings; fresh node-keyed payloads carry
+            # dicts.  Infer from the state entries.
+            fmt = (
+                "positional"
+                if any(isinstance(s, str) for s in payload["states"])
+                else "nodes"
+            )
+        if fmt == "positional":
+            if netlist is None:
+                raise ValueError(
+                    "a positional trace payload needs a netlist to decode"
+                )
+            latches = netlist.latch_nodes
+            inputs = netlist.input_nodes
+            return cls(
+                states=[
+                    _decode_bits(bits, latches) for bits in payload["states"]
+                ],
+                inputs=[
+                    _decode_bits(bits, inputs) for bits in payload["inputs"]
+                ],
+                violation_inputs=_decode_bits(
+                    payload.get("violation_inputs"), inputs
+                ),
+            )
+        if fmt != "nodes":
+            raise ValueError(f"unknown trace payload format {fmt!r}")
+        return cls(
+            states=[_decode_nodes(state) for state in payload["states"]],
+            inputs=[_decode_nodes(step) for step in payload["inputs"]],
+            violation_inputs=_decode_nodes(payload.get("violation_inputs")),
+        )
+
 
 @dataclass
 class VerificationResult:
@@ -85,6 +221,43 @@ class VerificationResult:
     @property
     def failed(self) -> bool:
         return self.status is Status.FAILED
+
+    def to_dict(self, netlist: Netlist | None = None) -> dict:
+        """JSON-serializable form; the trace encodes positionally over
+        ``netlist`` when one is given (see :meth:`Trace.to_dict`)."""
+        return {
+            "status": self.status.value,
+            "engine": self.engine,
+            "iterations": self.iterations,
+            "trace": (
+                self.trace.to_dict(netlist) if self.trace is not None else None
+            ),
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, netlist: Netlist | None = None
+    ) -> "VerificationResult":
+        """Rebuild a result serialized by :meth:`to_dict`."""
+        trace = None
+        if payload.get("trace") is not None:
+            trace = Trace.from_dict(payload["trace"], netlist)
+        stats_payload = payload.get("stats") or {}
+        if "values" not in stats_payload:
+            # Pre-"format" cache records stored a flat value map with the
+            # gauge names alongside it at the top level.
+            stats_payload = {
+                "values": stats_payload,
+                "gauges": payload.get("gauges", []),
+            }
+        return cls(
+            status=Status(payload["status"]),
+            engine=payload["engine"],
+            trace=trace,
+            iterations=int(payload.get("iterations", 0)),
+            stats=StatsBag.from_dict(stats_payload),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -25,7 +25,13 @@ from repro.portfolio.api import portfolio_verify
 from repro.portfolio.batch import check_many
 from repro.portfolio.cache import ResultCache
 from repro.portfolio.hashing import structural_hash
-from repro.portfolio.policy import Plan, circuit_features, select_plan
+from repro.portfolio.options import PortfolioOptions
+from repro.portfolio.policy import (
+    Plan,
+    circuit_features,
+    default_engines,
+    select_plan,
+)
 from repro.portfolio.runner import EngineOutcome, PortfolioOutcome, run_portfolio
 
 __all__ = [
@@ -33,8 +39,10 @@ __all__ = [
     "check_many",
     "ResultCache",
     "structural_hash",
+    "PortfolioOptions",
     "Plan",
     "circuit_features",
+    "default_engines",
     "select_plan",
     "EngineOutcome",
     "PortfolioOutcome",

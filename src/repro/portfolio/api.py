@@ -33,8 +33,10 @@ def portfolio_verify(
 ) -> VerificationResult | list[VerificationResult]:
     """Verify one netlist (or a batch) with a portfolio of engines.
 
-    * ``engines`` — engine names from :mod:`repro.mc.engine`; default is
-      :data:`repro.portfolio.policy.DEFAULT_ENGINES`.
+    * ``engines`` — engine names from the registry
+      (:func:`repro.api.engine_names`); default is
+      :func:`repro.portfolio.policy.default_engines` — every
+      non-composite, non-variant engine.
     * ``policy`` — ``race_all`` (concurrent, first decisive verdict
       cancels the rest), ``sequential_fallback`` (cheapest first), or
       ``predict`` (feature-ranked sequential).

@@ -61,10 +61,10 @@ def remap_trace(trace: Trace, source: Netlist, target: Netlist) -> Trace:
 
 
 def _decisive(result: VerificationResult, netlist: Netlist) -> bool:
-    if result.status is Status.PROVED:
+    if result.proved:
         return True
     return (
-        result.status is Status.FAILED
+        result.failed
         and result.trace is not None
         and result.trace.validate(netlist)
     )
@@ -178,7 +178,7 @@ def _check_one(
             and target is not netlist
         ):
             stored.trace = remap_trace(stored.trace, target, netlist)
-            if stored.status is Status.FAILED and not stored.trace.validate(
+            if stored.failed and not stored.trace.validate(
                 netlist
             ):
                 # Preprocessing must be verdict-preserving; if the remapped

@@ -6,15 +6,20 @@ read at start-up and O(1) per lookup afterwards.  Keys are
 ``(structural_hash, method, max_depth)`` — the three things a verdict
 depends on besides the engine's resource budget.
 
-Traces are serialized *positionally* (bit-strings over the latch and
-input registration order) rather than by AIG node id, because node ids
-are exactly what the structural hash abstracts away: a hit produced by
-one manager must decode into a valid trace for a differently-numbered
-manager of the same circuit.
+Records are the :meth:`VerificationResult.to_dict` payload with the
+cache key fields added.  Traces are serialized *positionally*
+(bit-strings over the latch and input registration order, the
+``netlist=`` encoding of :mod:`repro.mc.result`) rather than by AIG node
+id, because node ids are exactly what the structural hash abstracts
+away: a hit produced by one manager must decode into a valid trace for a
+differently-numbered manager of the same circuit.
 
 UNKNOWN entries are stored too, stamped with the wall-clock budget that
 failed to crack them.  They only count as hits for requests with the same
 or a smaller budget — a caller offering more time deserves a fresh run.
+An entry stamped ``None`` came from an *unbudgeted* run (the engine hit
+its depth limit with unlimited time) and answers any budget at that
+depth.
 """
 
 from __future__ import annotations
@@ -22,92 +27,11 @@ from __future__ import annotations
 import json
 import pathlib
 from collections import OrderedDict
-from typing import Mapping
 
 from repro.circuits.netlist import Netlist
-from repro.mc.result import Status, Trace, VerificationResult
+from repro.mc.result import Status, VerificationResult
 from repro.portfolio.hashing import structural_hash
 from repro.util.stats import StatsBag
-
-_MISSING = "x"
-
-
-def _encode_bits(
-    assignment: Mapping[int, bool] | None, nodes: list[int]
-) -> str | None:
-    if assignment is None:
-        return None
-    return "".join(
-        _MISSING if node not in assignment else str(int(assignment[node]))
-        for node in nodes
-    )
-
-
-def _decode_bits(bits: str | None, nodes: list[int]) -> dict[int, bool] | None:
-    if bits is None:
-        return None
-    if len(bits) != len(nodes):
-        raise ValueError("bit-string length does not match netlist")
-    return {
-        node: bit == "1"
-        for node, bit in zip(nodes, bits)
-        if bit != _MISSING
-    }
-
-
-def encode_result(result: VerificationResult, netlist: Netlist) -> dict:
-    """JSON-serializable form of a result, positional over ``netlist``."""
-    latches = netlist.latch_nodes
-    inputs = netlist.input_nodes
-    trace = None
-    if result.trace is not None:
-        trace = {
-            "states": [
-                _encode_bits(state, latches) for state in result.trace.states
-            ],
-            "inputs": [
-                _encode_bits(step, inputs) for step in result.trace.inputs
-            ],
-            "violation_inputs": _encode_bits(
-                result.trace.violation_inputs, inputs
-            ),
-        }
-    return {
-        "status": result.status.value,
-        "engine": result.engine,
-        "iterations": result.iterations,
-        "trace": trace,
-        "stats": result.stats.as_dict(),
-        "gauges": sorted(result.stats.gauge_keys()),
-    }
-
-
-def decode_result(payload: dict, netlist: Netlist) -> VerificationResult:
-    """Rebuild a result for ``netlist`` from its positional encoding."""
-    trace = None
-    if payload.get("trace") is not None:
-        raw = payload["trace"]
-        latches = netlist.latch_nodes
-        inputs = netlist.input_nodes
-        trace = Trace(
-            states=[_decode_bits(bits, latches) for bits in raw["states"]],
-            inputs=[_decode_bits(bits, inputs) for bits in raw["inputs"]],
-            violation_inputs=_decode_bits(raw["violation_inputs"], inputs),
-        )
-    stats = StatsBag()
-    gauges = set(payload.get("gauges", ()))
-    for key, value in payload.get("stats", {}).items():
-        if key in gauges:
-            stats.set(key, value)
-        else:
-            stats.incr(key, value)
-    return VerificationResult(
-        status=Status(payload["status"]),
-        engine=payload["engine"],
-        iterations=int(payload.get("iterations", 0)),
-        trace=trace,
-        stats=stats,
-    )
 
 
 class ResultCache:
@@ -183,8 +107,11 @@ class ResultCache:
     ) -> VerificationResult | None:
         """A cached result for this problem, or None.
 
-        ``budget`` is the wall-clock the caller is prepared to spend: a
-        stored UNKNOWN stamped with a smaller budget does not satisfy it.
+        ``budget`` is the wall-clock the caller is prepared to spend
+        (None = unlimited): a stored UNKNOWN stamped with a smaller
+        budget does not satisfy it.  A ``None`` stamp means the stored
+        run was itself unbudgeted — depth-limited, not time-limited — so
+        it answers any budget at the same depth.
         """
         key = self.key_for(netlist, method, max_depth, digest)
         record = self._entries.get(key)
@@ -193,15 +120,15 @@ class ResultCache:
             return None
         if record["status"] == Status.UNKNOWN.value:
             stamped = record.get("budget")
-            if budget is not None and (stamped is None or stamped < budget):
+            if stamped is not None and (budget is None or stamped < budget):
                 self.misses += 1
                 return None
         try:
-            result = decode_result(record, netlist)
-        except (KeyError, ValueError):
+            result = VerificationResult.from_dict(record, netlist)
+        except (KeyError, ValueError, TypeError, AttributeError):
             # A record that does not decode for this netlist (corruption,
-            # or a key collision between structurally-equal-modulo-dead-
-            # inputs designs) is a miss, not a crash.
+            # a legacy layout, or a key collision between structurally-
+            # equal-modulo-dead-inputs designs) is a miss, not a crash.
             del self._entries[key]
             self.misses += 1
             return None
@@ -220,7 +147,7 @@ class ResultCache:
         digest: str | None = None,
     ) -> None:
         key = self.key_for(netlist, method, max_depth, digest)
-        record = encode_result(result, netlist)
+        record = result.to_dict(netlist)
         record.update(
             {
                 "hash": key[0],

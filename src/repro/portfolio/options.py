@@ -1,0 +1,37 @@
+"""Typed configuration of the portfolio engine.
+
+Kept in a leaf module (no imports from :mod:`repro.mc` or the rest of
+the portfolio package) so the engine registry can name it as the
+``portfolio`` engine's option dataclass without creating an import cycle
+with :mod:`repro.mc.engine`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.portfolio.cache import ResultCache
+    from repro.util.stats import StatsBag
+
+
+@dataclass
+class PortfolioOptions:
+    """Everything :func:`repro.portfolio.portfolio_verify` accepts.
+
+    ``engines=None`` means the registry-derived default portfolio (every
+    non-composite, non-variant engine); ``budget`` is the per-engine
+    wall-clock limit in seconds.
+    """
+
+    max_depth: int = 100
+    engines: Sequence[str] | None = None
+    policy: str = "race_all"
+    budget: float = 5.0
+    jobs: int | None = None
+    cache: "ResultCache | str | pathlib.Path | None" = None
+    fraig_preprocess: bool = False
+    stats: "StatsBag | None" = None
+    engine_options: dict | None = None

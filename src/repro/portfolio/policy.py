@@ -19,14 +19,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.aig.analysis import cone_size_many, level_of
+from repro.api.registry import engines_with, get_engine
 from repro.circuits.netlist import Netlist
 from repro.errors import ReproError
 
 POLICIES = ("race_all", "sequential_fallback", "predict")
 
-#: Engines a portfolio runs when the caller does not choose: the two
-#: falsifiers/provers with early exits first, then the complete engines.
-DEFAULT_ENGINES = ("bmc", "k_induction", "reach_aig", "reach_bdd")
+
+def default_engines() -> tuple[str, ...]:
+    """Engines a portfolio runs when the caller does not choose.
+
+    Derived from the registry by capability: every non-composite engine
+    that is not a forced-option variant of another candidate (the
+    allsat/hybrid modes ride along with ``reach_aig`` only when asked
+    for).  Registration order puts the quick early-exit engines first.
+    """
+    return tuple(
+        spec.name
+        for spec in engines_with(composite=False)
+        if spec.variant_of is None
+    )
 
 
 @dataclass
@@ -94,15 +106,17 @@ def select_plan(
         raise ReproError(
             f"unknown portfolio policy {policy!r}; choose from {POLICIES}"
         )
-    chosen = list(engines) if engines else list(DEFAULT_ENGINES)
+    chosen = list(engines) if engines else list(default_engines())
     if not chosen:
         raise ReproError("portfolio needs at least one engine")
+    for name in chosen:
+        get_engine(name)  # unknown engines fail here, not in a worker
     if policy == "race_all":
         return Plan(methods=chosen, parallel=True, policy=policy)
     if policy == "sequential_fallback":
-        # Cheap falsifier, cheap prover, then the complete engines in the
-        # caller's order.
-        front = [m for m in ("bmc", "k_induction") if m in chosen]
+        # Quick early-exit engines first (capability metadata), then the
+        # complete engines in the caller's order.
+        front = [m for m in chosen if get_engine(m).quick]
         rest = [m for m in chosen if m not in front]
         return Plan(methods=front + rest, parallel=False, policy=policy)
     features = circuit_features(netlist)

@@ -187,8 +187,8 @@ def run_portfolio(
                     )
                     continue
                 result: VerificationResult = payload
-                decisive = result.status is Status.PROVED
-                if result.status is Status.FAILED:
+                decisive = result.proved
+                if result.failed:
                     # Replay on the parent's own netlist before declaring a
                     # winner: a bogus trace from a broken engine must lose.
                     if result.trace is not None and result.trace.validate(

@@ -68,6 +68,25 @@ class StatsBag:
     def as_dict(self) -> dict[str, float]:
         return dict(self._values)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form, preserving the counter/gauge split."""
+        return {
+            "values": dict(self._values),
+            "gauges": sorted(self._gauges),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StatsBag":
+        """Rebuild a bag serialized by :meth:`to_dict`."""
+        bag = cls()
+        gauges = set(payload.get("gauges", ()))
+        for key, value in payload.get("values", {}).items():
+            if key in gauges:
+                bag.set(key, value)
+            else:
+                bag.incr(key, value)
+        return bag
+
     def merge(self, other: "StatsBag") -> None:
         """Fold another bag in: counters add, gauges keep the maximum."""
         for key, value in other:

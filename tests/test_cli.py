@@ -208,10 +208,13 @@ class TestPortfolioCommand:
         assert code == 1
 
     def test_unknown_engine_rejected(self, handshake_file, capsys):
+        # The registry rejects unknown engines up front (usage error),
+        # instead of spawning a worker that crashes into UNKNOWN.
         code = main(
             ["portfolio", handshake_file, "--engines", "warp_drive"]
         )
-        assert code == 3  # the lone engine crashes; verdict stays unknown
+        assert code == 2
+        assert "unknown engine" in capsys.readouterr().err
 
 
 class TestMinimizeFlag:

@@ -15,6 +15,7 @@ from repro.portfolio import (
     ResultCache,
     check_many,
     circuit_features,
+    default_engines,
     portfolio_verify,
     run_portfolio,
     select_plan,
@@ -229,11 +230,20 @@ class TestPolicies:
 
     def test_predict_ranks_all_requested_engines(self):
         plan = select_plan(G.arbiter(4), policy="predict")
-        assert sorted(plan.methods) == sorted(
-            ["bmc", "k_induction", "reach_aig", "reach_bdd"]
-        )
+        assert sorted(plan.methods) == sorted(default_engines())
         assert plan.features["latches"] > 0
         assert plan.features["ands"] > 0
+
+    def test_default_engines_include_forward_traversals(self):
+        # Capability-derived defaults: the forward engines are candidates
+        # (the hand-maintained list used to omit them), composite and
+        # forced-option variant engines are not.
+        defaults = default_engines()
+        assert "reach_aig_fwd" in defaults
+        assert "reach_bdd_fwd" in defaults
+        assert "portfolio" not in defaults
+        assert "reach_aig_allsat" not in defaults
+        assert "reach_aig_hybrid" not in defaults
 
     def test_features_are_cheap_structural_counts(self):
         features = circuit_features(G.mod_counter(4, 12))
@@ -354,9 +364,7 @@ class TestPortfolioVerify:
         first_hits = stats.get("cache_hits")
         check_many([G.ring_counter(4)], budget=10.0, cache=cache, stats=stats)
         # The second call adds only its own hits, not the running total.
-        assert stats.get("cache_hits") - first_hits <= len(
-            ["bmc", "k_induction", "reach_aig", "reach_bdd"]
-        )
+        assert stats.get("cache_hits") - first_hits <= len(default_engines())
         assert stats.get("cache_hits") >= 1
 
     def test_check_many_shares_cache_within_batch(self):
