@@ -4,7 +4,9 @@ Installed as the ``repro`` console script::
 
     repro info design.bench
     repro convert design.bench design.blif
+    repro engines
     repro mc design.blif --method reach_aig --property "!bad"
+    repro mc counter.bench --method itp --max-depth 32
     repro portfolio a.bench b.blif --engines bmc,reach_aig --timeout 5 \
         --jobs 4 --cache results.jsonl
     repro quantify design.bench --output G22 --vars G1,G3 --preset full
@@ -103,6 +105,39 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     netlist = _load(args.input)
     _save(netlist, args.output)
     print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.api.registry import iter_engines
+
+    def capability_flags(spec) -> str:
+        flags = []
+        if spec.complete:
+            flags.append("complete")
+        if spec.produces_trace:
+            flags.append("trace")
+        if spec.supports_constraints:
+            flags.append("constraints")
+        if spec.quick:
+            flags.append("quick")
+        if spec.composite:
+            flags.append("composite")
+        if spec.variant_of:
+            flags.append(f"variant:{spec.variant_of}")
+        return ",".join(flags)
+
+    specs = list(iter_engines())
+    name_width = max(len(spec.name) for spec in specs) + 2
+    flag_width = max(
+        len("capabilities"),
+        max(len(capability_flags(spec)) for spec in specs),
+    ) + 2
+    print(f"{'engine':<{name_width}}{'direction':<11}"
+          f"{'capabilities':<{flag_width}}summary")
+    for spec in specs:
+        print(f"{spec.name:<{name_width}}{spec.direction:<11}"
+              f"{capability_flags(spec):<{flag_width}}{spec.summary}")
     return 0
 
 
@@ -336,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_convert.add_argument("input")
     p_convert.add_argument("output")
     p_convert.set_defaults(func=_cmd_convert)
+
+    p_engines = sub.add_parser(
+        "engines",
+        help="list the registered verification engines and their "
+        "capability flags",
+    )
+    p_engines.set_defaults(func=_cmd_engines)
 
     p_mc = sub.add_parser("mc", help="model check an invariant")
     p_mc.add_argument("file")

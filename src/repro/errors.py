@@ -54,6 +54,16 @@ class QuantificationAborted(ReproError):
         self.size_after = size_after
 
 
+class ProofError(ReproError):
+    """Raised when a resolution proof is malformed or fails replay.
+
+    The interpolation pipeline treats the independent proof checker as its
+    trust anchor: a chain that does not replay, a missing antecedent, or an
+    interpolant that fails the differential check all surface as this error
+    rather than as a wrong verdict.
+    """
+
+
 class ModelCheckingError(ReproError):
     """Raised when a model-checking engine is configured inconsistently."""
 

@@ -1,0 +1,30 @@
+"""Interpolation-based unbounded model checking.
+
+The SAT-only route to unbounded proofs that displaced pure BDD traversal
+in the years after the paper: refutation proofs of bounded queries yield
+over-approximate images directly (McMillan, CAV 2003), so reachability
+runs entirely on the CDCL solver.  Four layers, each trusting only the
+one below:
+
+* :class:`repro.sat.solver.ProofLog` — the solver's resolution-chain
+  record (``Solver(proof=True)``);
+* :mod:`repro.itp.proof` — :class:`ResolutionProof`, an independent
+  replay checker that validates every chain down to the empty clause;
+* :mod:`repro.itp.interpolant` — McMillan labeled-proof interpolant
+  extraction into AIG nodes, plus the DPLL differential check;
+* :mod:`repro.itp.engine` — the interpolant fix-point loop, registered
+  as the ``itp`` engine (``mc.verify(method="itp")``).
+"""
+
+from repro.itp.engine import interpolation_reachability
+from repro.itp.interpolant import extract_interpolant, verify_interpolant
+from repro.itp.options import ItpOptions
+from repro.itp.proof import ResolutionProof
+
+__all__ = [
+    "ItpOptions",
+    "ResolutionProof",
+    "extract_interpolant",
+    "interpolation_reachability",
+    "verify_interpolant",
+]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.circuits.netlist import Netlist
 from repro.api.registry import get_engine, register_engine
+from repro.itp.options import ItpOptions
 from repro.mc.bmc import BmcOptions, bmc
 from repro.mc.induction import KInductionOptions, k_induction
 from repro.mc.reach_aig import BackwardReachability, ReachOptions
@@ -144,6 +145,20 @@ def _run_reach_bdd_fwd(
     netlist: Netlist, options: BddReachOptions
 ) -> VerificationResult:
     return bdd_forward_reachability(netlist, options=options)
+
+
+@register_engine(
+    name="itp",
+    summary="McMillan interpolation: unbounded proofs from BMC "
+    "refutations, no BDDs and no explicit quantification",
+    options_class=ItpOptions,
+    depth_field="max_depth",
+    direction="forward",
+)
+def _run_itp(netlist: Netlist, options: ItpOptions) -> VerificationResult:
+    from repro.itp.engine import interpolation_reachability
+
+    return interpolation_reachability(netlist, options)
 
 
 @register_engine(

@@ -17,7 +17,12 @@ from repro.sat.solver import Solver
 class Unroller:
     """Frame-by-frame CNF encoding of a sequential netlist."""
 
-    def __init__(self, netlist: Netlist, solver: Solver | None = None) -> None:
+    def __init__(
+        self,
+        netlist: Netlist,
+        solver: Solver | None = None,
+        assert_constraints: bool = True,
+    ) -> None:
         netlist.validate()
         self.netlist = netlist
         self.aig: Aig = netlist.aig
@@ -26,6 +31,11 @@ class Unroller:
         # Per-frame: node -> solver literal for latch and input nodes.
         self._frames: list[dict[int, int]] = []
         self._const_var: int | None = None
+        # Interpolation partitions clauses by *when* they are added, so
+        # the itp engine needs to place each frame's environment
+        # constraints itself (via constrain_frame) instead of having
+        # ensure_frames assert them eagerly.
+        self._auto_constraints = assert_constraints
 
     # ------------------------------------------------------------------ #
     # Frame construction
@@ -50,9 +60,11 @@ class Unroller:
     def ensure_frames(self, count: int) -> None:
         """Encode frames until at least ``count`` exist (frame 0 included).
 
-        Environment constraints of the netlist are asserted as unit
+        Unless the unroller was built with ``assert_constraints=False``,
+        environment constraints of the netlist are asserted as unit
         clauses in every frame: all paths the solver considers are
-        constraint-satisfying executions.
+        constraint-satisfying executions.  In the opt-out mode the
+        caller owns constraint placement (see :meth:`constrain_frame`).
         """
         while len(self._frames) < count:
             if not self._frames:
@@ -73,8 +85,27 @@ class Unroller:
             self._assert_constraints(frame)
 
     def _assert_constraints(self, frame: dict[int, int]) -> None:
+        if not self._auto_constraints:
+            return
+        self._constrain(frame)
+
+    def _constrain(self, frame: dict[int, int]) -> None:
         for edge in self.netlist.constraints:
             self.solver.add_clause([self.edge_lit_in(frame, edge)])
+
+    def constrain_frame(self, index: int) -> None:
+        """Assert the netlist's environment constraints at one frame.
+
+        Only needed with ``assert_constraints=False``, where the caller
+        owns constraint placement (the interpolation engine keeps frame
+        0 in its A partition and guards later frames with selectors).
+        """
+        self._constrain(self.frame(index))
+
+    @property
+    def const_var(self) -> int | None:
+        """The solver variable pinned FALSE for constant edges (if any)."""
+        return self._const_var
 
     def frame(self, index: int) -> dict[int, int]:
         self.ensure_frames(index + 1)

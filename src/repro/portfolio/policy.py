@@ -92,6 +92,10 @@ def _predict_order(features: dict[str, float], engines: list[str]) -> list[str]:
         # small constant so complete engines win ties on tiny circuits.
         "bmc": 1.5 + 0.05 * ands,
         "k_induction": 1.0 + 0.05 * ands,
+        # Interpolation is the deep-PROVED specialist: insensitive to
+        # latch count (no canonical state sets), pays per gate in the
+        # unrolled CNF, and proof logging taxes wide input cones.
+        "itp": 2.5 + 0.05 * ands + 0.3 * inputs,
     }
     return sorted(engines, key=lambda m: (scores.get(m, 1e9), m))
 

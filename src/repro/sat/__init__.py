@@ -11,7 +11,7 @@ engine.
 """
 
 from repro.sat.cnf import CNF, Clause, lit_to_dimacs, neg
-from repro.sat.solver import Solver, SolveResult
+from repro.sat.solver import ProofLog, Solver, SolveResult
 from repro.sat.dpll import DpllSolver
 from repro.sat.enumeration import enumerate_models, enumerate_projected_cubes
 from repro.sat.circuit import CircuitSolver, prove_edges_equivalent_circuit
@@ -19,6 +19,7 @@ from repro.sat.circuit import CircuitSolver, prove_edges_equivalent_circuit
 __all__ = [
     "CNF",
     "Clause",
+    "ProofLog",
     "Solver",
     "SolveResult",
     "DpllSolver",

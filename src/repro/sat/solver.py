@@ -11,13 +11,23 @@ SAT-merge routine depends on are all here:
   restarting ("we factorize several checks together within a single
   ZChaff run");
 * on UNSAT under assumptions, the subset of assumptions actually used is
-  reported (``failed_assumptions``), letting one UNSAT verdict cover many
-  matching points.
+  reported (``failed_assumptions`` / ``core``), letting one UNSAT verdict
+  cover many matching points.
 
 Architecture is classic MiniSat-style CDCL: two-literal watches, VSIDS
 decision heuristic with an indexed max-heap, phase saving, first-UIP conflict
 analysis with clause minimization, Luby restarts and LBD-guided learned
 clause database reduction.
+
+With ``Solver(proof=True)`` every learned clause additionally records its
+resolution chain (antecedent proof-node ids, in trail order), level-0
+implied units record theirs, and an UNSAT verdict records the final
+conflict resolution — the empty clause outright, or the clause over the
+negated failing assumptions.  The resulting :class:`ProofLog` is the input
+of the independent checker and the interpolant extractor in
+:mod:`repro.itp`.  Proof recording never changes the search (decisions,
+conflicts and restarts are identical with and without it) and costs one
+predicted branch per implication when disabled.
 """
 
 from __future__ import annotations
@@ -56,6 +66,41 @@ class SolveResult(enum.Enum):
     def __bool__(self) -> bool:
         # Convenience: ``if solver.solve():`` means "is satisfiable".
         return self is SolveResult.SAT
+
+
+class ProofLog:
+    """A resolution-refutation record in DIMACS literals.
+
+    Node ``i`` carries a clause ``literals[i]`` and an antecedent chain
+    ``chains[i]``.  An empty chain marks an axiom (an original clause as
+    given to ``add_clause``); a non-empty chain derives the clause by
+    resolving ``chains[i][0]`` with each subsequent antecedent in order,
+    on exactly one pivot per step.  All antecedent ids are smaller than
+    ``i``, so the log is topologically sorted by construction.
+
+    ``root`` is the id of the derived empty clause (set when the database
+    is refuted outright); ``final`` is the clause concluding the most
+    recent UNSAT verdict — the empty clause, or the negation of the
+    failing assumption subset.  ``final`` is ``None`` for the one
+    underivable case: two directly complementary assumptions, whose
+    "core clause" would be a tautology.
+    """
+
+    __slots__ = ("literals", "chains", "root", "final")
+
+    def __init__(self) -> None:
+        self.literals: list[tuple[int, ...]] = []
+        self.chains: list[tuple[int, ...]] = []
+        self.root: int | None = None
+        self.final: int | None = None
+
+    def append(self, literals: tuple[int, ...], chain: tuple[int, ...]) -> int:
+        self.literals.append(literals)
+        self.chains.append(chain)
+        return len(self.literals) - 1
+
+    def __len__(self) -> int:
+        return len(self.literals)
 
 
 class _VarOrder:
@@ -166,7 +211,7 @@ class Solver:
     <SolveResult.SAT: 'sat'>
     """
 
-    def __init__(self, cnf: CNF | None = None) -> None:
+    def __init__(self, cnf: CNF | None = None, proof: bool = False) -> None:
         self._nvars = 0
         # Per-variable state.
         self._values = bytearray()        # _UNASSIGNED / 1 (true) / 0 (false)
@@ -192,6 +237,12 @@ class Solver:
         self._ok = True
         self._model: list[bool] = []
         self._failed_assumptions: list[int] = []
+        self._core: tuple[int, ...] | None = None
+        # Proof logging (all None/unused when disabled).
+        self._proof = ProofLog() if proof else None
+        self._proof_clause_ids: list[int] = []   # arena index -> proof id
+        self._proof_units: dict[int, int] = {}   # level-0 internal lit -> id
+        self._last_learnt_proof_id = -1
         # Statistics.
         self.conflicts = 0
         self.decisions = 0
@@ -249,29 +300,61 @@ class Solver:
         internal = sorted({_to_internal(lit) for lit in lits})
         # Tautology and level-0 simplification.
         simplified: list[int] = []
+        removed: list[int] = []   # literals false at level 0
+        satisfied = False
         previous = -1
         for lit in internal:
             if lit == previous ^ 1 and previous != -1:
-                return True  # contains x and ~x
+                return True  # contains x and ~x: no proof obligation either
             value = self._lit_value(lit)
             if value == 1:
-                return True  # already satisfied at level 0
-            if value != 0:
+                satisfied = True
+            elif value == 0:
+                removed.append(lit)
+            else:
                 simplified.append(lit)
             previous = lit
+        proof_id = -1
+        if self._proof is not None:
+            # The clause as given is an axiom; if level-0 units deleted
+            # literals, the attached clause is derived by resolving the
+            # axiom with each deleted literal's unit.
+            proof_id = self._proof.append(
+                tuple(_to_dimacs(lit) for lit in internal), ()
+            )
+            if removed and not satisfied:
+                chain = (proof_id,) + tuple(
+                    self._proof_units[lit ^ 1] for lit in removed
+                )
+                proof_id = self._proof.append(
+                    tuple(_to_dimacs(lit) for lit in simplified), chain
+                )
+        if satisfied:
+            return True  # already satisfied at level 0
         if not simplified:
             self._ok = False
+            if self._proof is not None:
+                self._proof.root = proof_id
+                self._proof.final = proof_id
             return False
         if len(simplified) == 1:
+            if self._proof is not None:
+                self._proof_units[simplified[0]] = proof_id
             self._enqueue(simplified[0], -1)
-            if self._propagate() != -1:
+            conflict = self._propagate()
+            if conflict != -1:
                 self._ok = False
+                if self._proof is not None:
+                    self._log_level0_conflict(conflict)
                 return False
             return True
-        self._attach_clause(simplified, learnt=False, lbd=0)
+        self._attach_clause(simplified, learnt=False, lbd=0,
+                            proof_id=proof_id)
         return True
 
-    def _attach_clause(self, lits: list[int], learnt: bool, lbd: int) -> int:
+    def _attach_clause(
+        self, lits: list[int], learnt: bool, lbd: int, proof_id: int = -1
+    ) -> int:
         index = len(self._clauses)
         self._clauses.append(lits)
         self._learnt_flags.append(learnt)
@@ -281,6 +364,8 @@ class Solver:
         if learnt:
             self._learnt_ids.append(index)
             self.learned_clauses += 1
+        if self._proof is not None:
+            self._proof_clause_ids.append(proof_id)
         return index
 
     # ------------------------------------------------------------------ #
@@ -331,6 +416,10 @@ class Solver:
         watches = self._watches
         values = self._values
         trail = self._trail
+        # Proof mode: implications at decision level 0 are permanent facts
+        # whose derivations later chains resolve against, so each gets its
+        # own proof node.  One dead branch per implication when disabled.
+        log_units = self._proof is not None and not self._trail_lim
         while self._qhead < len(trail):
             p = trail[self._qhead]
             self._qhead += 1
@@ -369,9 +458,88 @@ class Solver:
                     kept.extend(watch_list[i:])
                     watches[false_lit] = kept
                     return ci
+                if log_units:
+                    self._log_level0_unit(first, ci)
                 self._enqueue(first, ci)
             watches[false_lit] = kept
         return -1
+
+    # ------------------------------------------------------------------ #
+    # Proof logging (every method here is only reached with proof=True)
+    # ------------------------------------------------------------------ #
+
+    def _log_level0_unit(self, lit: int, ci: int) -> None:
+        """Record the derivation of a literal implied at decision level 0.
+
+        The implying clause is resolved with the unit of every other (all
+        level-0-false) literal it contains, leaving the unit ``(lit)``.
+        """
+        chain = [self._proof_clause_ids[ci]]
+        for other in self._clauses[ci]:
+            if other != lit:
+                chain.append(self._proof_units[other ^ 1])
+        self._proof_units[lit] = self._proof.append(
+            (_to_dimacs(lit),), tuple(chain)
+        )
+
+    def _log_level0_conflict(self, ci: int) -> None:
+        """Record the empty clause from a conflict at decision level 0."""
+        chain = [self._proof_clause_ids[ci]]
+        for lit in self._clauses[ci]:
+            chain.append(self._proof_units[lit ^ 1])
+        root = self._proof.append((), tuple(chain))
+        self._proof.root = root
+        self._proof.final = root
+
+    def _log_learnt(
+        self, chain_cis: list[int], removed: list[int], learnt: list[int]
+    ) -> int:
+        """Record a learned clause's resolution chain.
+
+        ``chain_cis`` holds the conflict clause and the reason clauses in
+        first-UIP merge order; ``removed`` the literals deleted by clause
+        minimization.  Each removed literal resolves against its own
+        reason (latest-assigned first, so a literal such a step
+        re-introduces is still eliminated afterwards), and any level-0
+        literal picked up along the way is finally resolved away with its
+        unit — level-0 literals are all false, so they can never form a
+        second complementary pair mid-chain, and one elimination at the
+        end each is enough.
+        """
+        levels = self._levels
+        clause_ids = self._proof_clause_ids
+        chain = [clause_ids[ci] for ci in chain_cis]
+        zero: set[int] = set()
+        for ci in chain_cis:
+            for lit in self._clauses[ci]:
+                if levels[lit >> 1] == 0:
+                    zero.add(lit)
+        if removed:
+            position = {lit: i for i, lit in enumerate(self._trail)}
+            removed = sorted(
+                removed, key=lambda lit: position[lit ^ 1], reverse=True
+            )
+            for lit in removed:
+                ci = self._reasons[lit >> 1]
+                chain.append(clause_ids[ci])
+                for other in self._clauses[ci]:
+                    if levels[other >> 1] == 0:
+                        zero.add(other)
+        for lit in sorted(zero):
+            chain.append(self._proof_units[lit ^ 1])
+        return self._proof.append(
+            tuple(_to_dimacs(lit) for lit in learnt), tuple(chain)
+        )
+
+    @property
+    def proof(self) -> ProofLog | None:
+        """The resolution log (``None`` unless built with ``proof=True``).
+
+        Live view: it keeps growing across ``solve`` calls.  Feed it to
+        :class:`repro.itp.proof.ResolutionProof` for independent checking
+        or interpolant extraction.
+        """
+        return self._proof
 
     # ------------------------------------------------------------------ #
     # Conflict analysis
@@ -403,6 +571,8 @@ class Solver:
         index = len(self._trail) - 1
         clause = self._clauses[conflict]
         assert clause is not None
+        proof = self._proof
+        chain_cis = [conflict] if proof is not None else None
         while True:
             for q in clause:
                 if q == p:
@@ -428,12 +598,15 @@ class Solver:
             reason = reasons[pvar]
             clause = self._clauses[reason]
             assert clause is not None
+            if chain_cis is not None:
+                chain_cis.append(reason)
         learnt[0] = p ^ 1
         # Cheap clause minimization: drop literals whose reason is subsumed
         # by the rest of the learnt clause.
         for q in learnt[1:]:
             seen[q >> 1] = 1
         minimized = [learnt[0]]
+        removed: list[int] = []
         for q in learnt[1:]:
             reason = reasons[q >> 1]
             if reason == -1:
@@ -443,9 +616,16 @@ class Solver:
             assert reason_clause is not None
             if all(seen[r >> 1] or levels[r >> 1] == 0
                    for r in reason_clause if r != q ^ 1):
+                removed.append(q)
                 continue
             minimized.append(q)
         learnt = minimized
+        if proof is not None:
+            # Trail and reasons are still intact here (the caller only
+            # backtracks after analysis), which the chain builder needs.
+            self._last_learnt_proof_id = self._log_learnt(
+                chain_cis, removed, learnt
+            )
         if len(learnt) == 1:
             backtrack = 0
         else:
@@ -467,26 +647,49 @@ class Solver:
         assumption prefix is being placed, every decision on the trail is an
         assumption, so reason-less seen literals are exactly the culprits.
         """
+        proof = self._proof
         out = {failed_assumption}
-        if not self._trail_lim:
-            return [_to_dimacs(lit) for lit in out]
-        seen = bytearray(self._nvars)
-        seen[failed_assumption >> 1] = 1
-        for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
-            lit = self._trail[i]
-            var = lit >> 1
-            if not seen[var]:
-                continue
-            reason = self._reasons[var]
-            if reason == -1:
-                out.add(lit)
+        chain: list[int] = []
+        zero: set[int] = set()
+        if self._trail_lim:
+            seen = bytearray(self._nvars)
+            seen[failed_assumption >> 1] = 1
+            for i in range(len(self._trail) - 1, self._trail_lim[0] - 1, -1):
+                lit = self._trail[i]
+                var = lit >> 1
+                if not seen[var]:
+                    continue
+                reason = self._reasons[var]
+                if reason == -1:
+                    out.add(lit)
+                else:
+                    clause = self._clauses[reason]
+                    assert clause is not None
+                    if proof is not None:
+                        chain.append(self._proof_clause_ids[reason])
+                    for q in clause:
+                        if self._levels[q >> 1] > 0:
+                            seen[q >> 1] = 1
+                        elif proof is not None:
+                            zero.add(q)
+                seen[var] = 0
+        if proof is not None:
+            # The final clause negates the core.  Three shapes: a normal
+            # reason walk (resolve the chained reasons, then the level-0
+            # units); an assumption whose negation is a level-0 fact (the
+            # existing unit already is the final clause); two directly
+            # complementary assumptions (a tautology — not derivable).
+            if chain:
+                for lit in sorted(zero):
+                    chain.append(self._proof_units[lit ^ 1])
+                proof.final = proof.append(
+                    tuple(sorted(_to_dimacs(lit ^ 1) for lit in out)),
+                    tuple(chain),
+                )
+            elif len(out) == 1:
+                proof.final = self._proof_units.get(failed_assumption ^ 1)
             else:
-                clause = self._clauses[reason]
-                assert clause is not None
-                for q in clause:
-                    if self._levels[q >> 1] > 0:
-                        seen[q >> 1] = 1
-            seen[var] = 0
+                proof.final = None
         return [_to_dimacs(lit) for lit in out]
 
     # ------------------------------------------------------------------ #
@@ -545,7 +748,9 @@ class Solver:
         self.solve_calls += 1
         self._model = []
         self._failed_assumptions = []
+        self._core = None
         if not self._ok:
+            self._core = ()
             return SolveResult.UNSAT
         for lit in assumptions:
             self._ensure_var(abs(lit))
@@ -565,15 +770,24 @@ class Solver:
                 conflicts_since_restart += 1
                 if self._decision_level() == 0:
                     self._ok = False
+                    self._core = ()
+                    if self._proof is not None:
+                        self._log_level0_conflict(conflict)
                     result = SolveResult.UNSAT
                     break
                 self._var_inc /= self._var_decay
                 learnt, backtrack, lbd = self._analyze(conflict)
                 self._cancel_until(backtrack)
                 if len(learnt) == 1:
+                    if self._proof is not None:
+                        self._proof_units[learnt[0]] = \
+                            self._last_learnt_proof_id
                     self._enqueue(learnt[0], -1)
                 else:
-                    ci = self._attach_clause(learnt, learnt=True, lbd=lbd)
+                    ci = self._attach_clause(
+                        learnt, learnt=True, lbd=lbd,
+                        proof_id=self._last_learnt_proof_id,
+                    )
                     self._enqueue(learnt[0], ci)
                 if self.conflicts - conflicts_at_start >= conflicts_allowed:
                     result = SolveResult.UNKNOWN
@@ -600,6 +814,7 @@ class Solver:
                     continue
                 if value == 0:
                     self._failed_assumptions = self._analyze_final(lit)
+                    self._core = tuple(self._failed_assumptions)
                     result = SolveResult.UNSAT
                     break
                 self.decisions += 1
@@ -647,6 +862,18 @@ class Solver:
     def failed_assumptions(self) -> list[int]:
         """Assumption subset responsible for the last UNSAT-under-assumptions."""
         return list(self._failed_assumptions)
+
+    @property
+    def core(self) -> tuple[int, ...] | None:
+        """The last UNSAT verdict's assumption core, as DIMACS literals.
+
+        ``None`` when the last ``solve`` call was not UNSAT; an empty
+        tuple when the database is unsatisfiable outright (no assumption
+        needed); otherwise the subset of the passed assumptions that
+        already forces the conflict — re-solving under just these
+        literals is UNSAT again.
+        """
+        return self._core
 
     @property
     def ok(self) -> bool:

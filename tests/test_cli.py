@@ -34,6 +34,28 @@ def buggy_file(tmp_path):
     return str(path)
 
 
+class TestEngines:
+    def test_lists_every_registered_engine(self, capsys):
+        from repro.api.registry import engine_names
+
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        for name in engine_names():
+            assert name in out
+
+    def test_shows_capability_flags(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split()[0]: line for line in out.splitlines()[1:] if line
+        }
+        assert "complete" not in lines["bmc"]
+        assert "complete" in lines["itp"]
+        assert "composite" in lines["portfolio"]
+        assert "variant:reach_aig" in lines["reach_aig_allsat"]
+        assert "forward" in lines["itp"]
+
+
 class TestInfo:
     def test_info_reports_structure(self, s27_bench, capsys):
         assert main(["info", s27_bench]) == 0
@@ -84,6 +106,18 @@ class TestModelCheck:
 
     def test_bmc_method(self, buggy_file, capsys):
         assert main(["mc", buggy_file, "--method", "bmc"]) == 1
+
+    def test_itp_method_proves(self, handshake_file, capsys):
+        assert main(["mc", handshake_file, "--method", "itp"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:  itp" in out
+        assert "proved" in out
+
+    def test_itp_method_finds_counterexample(self, buggy_file, capsys):
+        assert main(["mc", buggy_file, "--method", "itp", "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "counterexample depth" in out
 
     def test_unknown_signal_rejected(self, s27_bench, capsys):
         assert main(["mc", s27_bench, "--property", "nope"]) == 2
