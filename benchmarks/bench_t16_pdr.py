@@ -1,0 +1,165 @@
+"""Experiment T16 — PDR vs. interpolation vs. BMC on deep PROVED and
+FAILED families.
+
+The workload PDR exists for: state spaces whose proofs need neither a
+deep unrolling (interpolation's cost) nor a depth sweep (BMC's), just a
+handful of single-step frame queries.  Two sides:
+
+* **PROVED** — wide counters and shift structures; PDR and itp must
+  both prove them (PDR with a certified inductive invariant), BMC is
+  structurally stuck at UNKNOWN;
+* **FAILED** — deep planted bugs; all three engines find them and the
+  traces replay.
+
+Wall times, verdicts, frame/iteration counts and invariant sizes land
+in ``benchmarks/BENCH_BDD.json`` via ``record_json``.  Set
+``BENCH_TINY=1`` (CI bench-smoke) to shrink the instances.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.circuits import generators as G
+from repro.itp import ItpOptions
+from repro.mc import verify
+from repro.mc.result import Status
+from repro.pdr import PdrOptions, check_certificate
+
+if os.environ.get("BENCH_TINY"):
+    PROVED_FAMILIES = {
+        "mod_counter_16": lambda: G.mod_counter(16),
+        "mod_counter_24": lambda: G.mod_counter(24),
+        "shift_register_16": lambda: G.shift_register(16),
+    }
+    FAILED_FAMILIES = {
+        "bug_at_depth_8": lambda: G.bug_at_depth(8),
+        "updown_6_buggy": lambda: G.up_down_counter(6, safe=False),
+    }
+    MAX_DEPTH = 16
+else:
+    PROVED_FAMILIES = {
+        "mod_counter_64": lambda: G.mod_counter(64),
+        "mod_counter_128": lambda: G.mod_counter(128),
+        "shift_register_32": lambda: G.shift_register(32),
+        "updown_16": lambda: G.up_down_counter(16),
+    }
+    FAILED_FAMILIES = {
+        "bug_at_depth_12": lambda: G.bug_at_depth(12),
+        "mod_counter_5_28_buggy": lambda: G.mod_counter(5, 28, safe=False),
+        "updown_8_buggy": lambda: G.up_down_counter(8, safe=False),
+    }
+    MAX_DEPTH = 32
+
+ENGINES = ("pdr", "itp", "bmc")
+
+
+def _run(engine, netlist):
+    if engine == "pdr":
+        options = {"options": PdrOptions(max_frames=MAX_DEPTH)}
+    elif engine == "itp":
+        options = {"options": ItpOptions(max_depth=MAX_DEPTH)}
+    else:
+        options = {"max_depth": MAX_DEPTH}
+    start = time.perf_counter()
+    result = verify(netlist, method=engine, **options)
+    return time.perf_counter() - start, result
+
+
+def _record(design, kind, timings, results, benchmark, record_json,
+            record_row):
+    pdr_result = results["pdr"]
+    benchmark.extra_info.update(
+        {
+            "design": design,
+            "kind": kind,
+            "pdr_frames": pdr_result.iterations,
+            "pdr_sat_calls": pdr_result.stats.get("sat_calls"),
+            "invariant_clauses": pdr_result.stats.get(
+                "invariant_clauses"
+            ),
+        }
+    )
+    record_json(
+        "t16_pdr",
+        design=design,
+        kind=kind,
+        pdr_seconds=timings["pdr"],
+        itp_seconds=timings["itp"],
+        bmc_seconds=timings["bmc"],
+        pdr_frames=pdr_result.iterations,
+        pdr_sat_calls=pdr_result.stats.get("sat_calls"),
+        pdr_lemmas=pdr_result.stats.get("pdr_lemmas_active"),
+        invariant_clauses=pdr_result.stats.get("invariant_clauses"),
+        pdr_verdict=pdr_result.status.value,
+        itp_verdict=results["itp"].status.value,
+        bmc_verdict=results["bmc"].status.value,
+    )
+    record_row(
+        "T16 PDR vs interpolation vs BMC",
+        f"{'design':<24}{'kind':<8}{'pdr':>9}{'itp':>9}{'bmc':>9}"
+        f"{'frames':>8}{'inv':>6}",
+        f"{design:<24}{kind:<8}"
+        f"{timings['pdr'] * 1000:>7.0f}ms"
+        f"{timings['itp'] * 1000:>7.0f}ms"
+        f"{timings['bmc'] * 1000:>7.0f}ms"
+        f"{pdr_result.iterations:>8d}"
+        f"{pdr_result.stats.get('invariant_clauses', 0):>6.0f}",
+    )
+
+
+@pytest.mark.parametrize("design", list(PROVED_FAMILIES))
+def test_t16_pdr_proves_where_bmc_cannot(
+    benchmark, record_row, record_json, design
+):
+    build = PROVED_FAMILIES[design]
+    timings, results = {}, {}
+    for engine in ENGINES:
+        timings[engine], results[engine] = _run(engine, build())
+
+    # The deep-PROVED contract: PDR proves with a certificate that
+    # re-checks on a fresh solver, interpolation agrees, BMC never can.
+    pdr_result = results["pdr"]
+    assert pdr_result.status is Status.PROVED
+    assert pdr_result.certificate is not None
+    check_certificate(build(), pdr_result.certificate)
+    assert results["itp"].status is Status.PROVED
+    assert results["bmc"].status is Status.UNKNOWN
+
+    benchmark.pedantic(
+        lambda: verify(
+            build(), method="pdr",
+            options=PdrOptions(max_frames=MAX_DEPTH),
+        ),
+        rounds=1, iterations=1,
+    )
+    _record(design, "proved", timings, results, benchmark, record_json,
+            record_row)
+
+
+@pytest.mark.parametrize("design", list(FAILED_FAMILIES))
+def test_t16_pdr_refutes_with_replayable_traces(
+    benchmark, record_row, record_json, design
+):
+    build = FAILED_FAMILIES[design]
+    timings, results = {}, {}
+    for engine in ENGINES:
+        timings[engine], results[engine] = _run(engine, build())
+
+    # The FAILED contract: all three engines find the bug; PDR's trace
+    # replays and is never shorter than BMC's breadth-first minimum.
+    for engine in ENGINES:
+        assert results[engine].status is Status.FAILED, engine
+    assert results["pdr"].trace.validate(build())
+    assert results["pdr"].trace.depth >= results["bmc"].trace.depth
+
+    benchmark.pedantic(
+        lambda: verify(
+            build(), method="pdr",
+            options=PdrOptions(max_frames=MAX_DEPTH),
+        ),
+        rounds=1, iterations=1,
+    )
+    _record(design, "failed", timings, results, benchmark, record_json,
+            record_row)

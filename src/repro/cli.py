@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro engines
     repro mc design.blif --method reach_aig --property "!bad"
     repro mc counter.bench --method itp --max-depth 32
+    repro mc counter.bench --method pdr --max-depth 32
     repro portfolio a.bench b.blif --engines bmc,reach_aig --timeout 5 \
         --jobs 4 --cache results.jsonl
     repro quantify design.bench --output G22 --vars G1,G3 --preset full

@@ -64,6 +64,17 @@ class ProofError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """Raised when an inductive-invariant certificate fails its check.
+
+    A PROVED verdict from the PDR engine ships an
+    :class:`repro.mc.result.InvariantCertificate`; the independent
+    checker re-derives initiation, consecution and safety on a fresh
+    solver.  A certificate that fails any of the three is an engine bug
+    surfaced as this error, never as a wrong verdict.
+    """
+
+
 class ModelCheckingError(ReproError):
     """Raised when a model-checking engine is configured inconsistently."""
 

@@ -16,7 +16,12 @@ named in the paper:
 :func:`repro.mc.engine.verify` dispatches them behind one interface.
 """
 
-from repro.mc.result import Status, Trace, VerificationResult
+from repro.mc.result import (
+    InvariantCertificate,
+    Status,
+    Trace,
+    VerificationResult,
+)
 from repro.mc.reach_aig import BackwardReachability, ReachOptions
 from repro.mc.reach_aig_fwd import ForwardReachability, ForwardReachOptions
 from repro.mc.reach_bdd import (
@@ -31,6 +36,7 @@ from repro.mc.engine import verify
 from repro.mc.minimize import MinimizedTrace, minimize_trace
 
 __all__ = [
+    "InvariantCertificate",
     "Status",
     "Trace",
     "VerificationResult",

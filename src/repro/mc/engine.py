@@ -27,6 +27,7 @@ from repro.mc.reach_bdd import (
     bdd_forward_reachability,
 )
 from repro.mc.result import VerificationResult
+from repro.pdr.options import PdrOptions
 from repro.portfolio.options import PortfolioOptions
 
 
@@ -159,6 +160,20 @@ def _run_itp(netlist: Netlist, options: ItpOptions) -> VerificationResult:
     from repro.itp.engine import interpolation_reachability
 
     return interpolation_reachability(netlist, options)
+
+
+@register_engine(
+    name="pdr",
+    summary="IC3/PDR: incremental frame strengthening with certified "
+    "inductive invariants; the deep control-logic specialist",
+    options_class=PdrOptions,
+    depth_field="max_frames",
+    direction="forward",
+)
+def _run_pdr(netlist: Netlist, options: PdrOptions) -> VerificationResult:
+    from repro.pdr.engine import pdr_reachability
+
+    return pdr_reachability(netlist, options)
 
 
 @register_engine(

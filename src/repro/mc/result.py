@@ -205,6 +205,90 @@ class Trace:
 
 
 @dataclass
+class InvariantCertificate:
+    """An inductive strengthening proving a PROVED verdict.
+
+    ``clauses`` is a CNF over the latch variables: each literal is a
+    signed latch node id (``+node`` = latch true, ``-node`` = latch
+    false).  The conjunction ``Inv`` of the clauses is the certificate's
+    claim, checkable by anyone with three SAT queries:
+
+    * initiation — ``I ∧ ¬Inv`` is UNSAT (the initial state satisfies
+      every clause);
+    * consecution — ``Inv ∧ C ∧ T ∧ ¬Inv'`` is UNSAT (one constrained
+      step stays inside Inv);
+    * safety — ``Inv ∧ C ∧ ¬P`` is UNSAT (Inv excludes every bad state).
+
+    :func:`repro.pdr.check_certificate` runs exactly those queries on a
+    fresh solver; the ``pdr`` engine does so before returning any PROVED
+    result (``PdrOptions.certify``).  An empty clause list is the trivial
+    certificate ``Inv = TRUE`` (the property can never be violated by any
+    state at all).
+    """
+
+    clauses: list[tuple[int, ...]]
+    level: int = 0                 # the frame the fix-point closed at
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def to_dict(self, netlist: Netlist | None = None) -> dict:
+        """JSON-serializable form; positional over ``netlist`` if given.
+
+        Positional literals are signed 1-based latch *positions* in the
+        netlist's registration order — stable across AIG renumbering,
+        matching the trace encoding the result cache relies on.
+        """
+        if netlist is None:
+            return {
+                "format": "nodes",
+                "level": self.level,
+                "clauses": [list(clause) for clause in self.clauses],
+            }
+        position = {
+            node: k + 1 for k, node in enumerate(netlist.latch_nodes)
+        }
+        return {
+            "format": "positional",
+            "level": self.level,
+            "clauses": [
+                [
+                    position[abs(lit)] if lit > 0 else -position[abs(lit)]
+                    for lit in clause
+                ]
+                for clause in self.clauses
+            ],
+        }
+
+    @classmethod
+    def from_dict(
+        cls, payload: dict, netlist: Netlist | None = None
+    ) -> "InvariantCertificate":
+        fmt = payload.get("format", "nodes")
+        clauses = payload["clauses"]
+        if fmt == "positional":
+            if netlist is None:
+                raise ValueError(
+                    "a positional certificate payload needs a netlist"
+                )
+            latches = netlist.latch_nodes
+            decoded = [
+                tuple(
+                    latches[abs(lit) - 1] if lit > 0
+                    else -latches[abs(lit) - 1]
+                    for lit in clause
+                )
+                for clause in clauses
+            ]
+        elif fmt == "nodes":
+            decoded = [tuple(int(lit) for lit in clause) for clause in clauses]
+        else:
+            raise ValueError(f"unknown certificate payload format {fmt!r}")
+        return cls(clauses=decoded, level=int(payload.get("level", 0)))
+
+
+@dataclass
 class VerificationResult:
     """What an engine reports back."""
 
@@ -213,6 +297,7 @@ class VerificationResult:
     trace: Trace | None = None
     iterations: int = 0            # traversal steps / BMC depth / k
     stats: StatsBag = field(default_factory=StatsBag)
+    certificate: InvariantCertificate | None = None
 
     @property
     def proved(self) -> bool:
@@ -232,6 +317,11 @@ class VerificationResult:
             "trace": (
                 self.trace.to_dict(netlist) if self.trace is not None else None
             ),
+            "certificate": (
+                self.certificate.to_dict(netlist)
+                if self.certificate is not None
+                else None
+            ),
             "stats": self.stats.to_dict(),
         }
 
@@ -243,6 +333,11 @@ class VerificationResult:
         trace = None
         if payload.get("trace") is not None:
             trace = Trace.from_dict(payload["trace"], netlist)
+        certificate = None
+        if payload.get("certificate") is not None:
+            certificate = InvariantCertificate.from_dict(
+                payload["certificate"], netlist
+            )
         stats_payload = payload.get("stats") or {}
         if "values" not in stats_payload:
             # Pre-"format" cache records stored a flat value map with the
@@ -257,6 +352,7 @@ class VerificationResult:
             trace=trace,
             iterations=int(payload.get("iterations", 0)),
             stats=StatsBag.from_dict(stats_payload),
+            certificate=certificate,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,31 @@
+"""IC3 / property-directed reachability.
+
+The incremental counterpart to :mod:`repro.itp`: instead of refuting one
+monolithic unrolling per iteration, PDR strengthens a trace of stepwise
+over-approximations ``F_0 ⊆ F_1 ⊆ … ⊆ F_N`` with single-step SAT
+queries, so deep, control-heavy state spaces never force a deep CNF.
+Four layers:
+
+* :mod:`repro.pdr.frames` — the delta-encoded lemma trace with
+  subsumption and clause pushing;
+* :mod:`repro.pdr.solver_pool` — one incremental solver per frame,
+  lemmas added/retired through activation literals
+  (:meth:`repro.sat.solver.Solver.add_removable_clause`);
+* :mod:`repro.pdr.generalize` — unsat-core literal dropping and
+  ternary-simulation cube expansion;
+* :mod:`repro.pdr.engine` — the proof-obligation loop, registered as
+  the ``pdr`` engine (``mc.verify(method="pdr")``), whose every PROVED
+  result carries an :class:`repro.mc.result.InvariantCertificate`
+  re-checked by :mod:`repro.pdr.certify` on an independent solver.
+"""
+
+from repro.pdr.certify import check_certificate, invariant_edge
+from repro.pdr.engine import pdr_reachability
+from repro.pdr.options import PdrOptions
+
+__all__ = [
+    "PdrOptions",
+    "check_certificate",
+    "invariant_edge",
+    "pdr_reachability",
+]

@@ -1,0 +1,171 @@
+"""The PDR frame trace: a monotone sequence of clause sets.
+
+Frames ``F_0 ⊆ F_1 ⊆ … ⊆ F_N`` (as state sets) over-approximate the
+states reachable in at most ``k`` constrained steps.  As clause sets the
+inclusion flips — ``clauses(F_k) ⊇ clauses(F_{k+1})`` — which the trace
+exploits with the standard *delta encoding*: each lemma is stored once,
+at the highest frame whose set it belongs to, and ``F_k`` is the union
+of all lemmas at levels ``≥ k``.
+
+A lemma blocks a cube of states.  Cubes (and clause literals) are signed
+latch node ids: ``+node`` means the latch is 1 in the cube, ``-node``
+means 0; the lemma's clause is the negation of its cube.  Subsumption is
+syntactic — cube ``g`` subsumes cube ``h`` iff ``g ⊆ h`` — and retired
+lemmas stay in the list (their solver clauses are deactivated by the
+pool) but drop out of every query and of the final invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class Lemma:
+    """One blocked cube: ``¬cube`` holds in every frame up to ``level``.
+
+    The per-frame activation literals backing the lemma's solver clauses
+    live solver-side (:class:`repro.pdr.solver_pool.FrameSolver`); the
+    lemma itself is purely combinatorial.
+    """
+
+    __slots__ = ("cube", "level", "retired")
+
+    def __init__(self, cube: frozenset[int], level: int) -> None:
+        self.cube = cube
+        self.level = level
+        self.retired = False
+
+    def clause(self) -> tuple[int, ...]:
+        """The lemma as a clause (negated cube), deterministically ordered."""
+        return tuple(sorted((-lit for lit in self.cube), key=abs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mark = "retired " if self.retired else ""
+        return f"Lemma({mark}level={self.level}, cube={sorted(self.cube)})"
+
+
+class FrameTrace:
+    """Delta-encoded lemma store with subsumption and pushing."""
+
+    def __init__(self) -> None:
+        self._lemmas: list[Lemma] = []
+        self._num_frames = 1   # F_0 always exists; F_1 opens with it
+        self.subsumed = 0      # lemmas retired by a stronger one
+        self.added = 0
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_frames(self) -> int:
+        """The highest open frame index N."""
+        return self._num_frames
+
+    def extend(self) -> int:
+        """Open frame ``N+1``; returns the new N."""
+        self._num_frames += 1
+        return self._num_frames
+
+    def __iter__(self) -> Iterator[Lemma]:
+        return (lemma for lemma in self._lemmas if not lemma.retired)
+
+    def lemma_count(self) -> int:
+        return sum(1 for _ in self)
+
+    # ------------------------------------------------------------------ #
+    # Lemma lifecycle
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self, cube: frozenset[int], level: int
+    ) -> tuple[Lemma | None, list[Lemma]]:
+        """Record ``¬cube`` at ``level``; returns ``(lemma, retired)``.
+
+        ``lemma`` is ``None`` when an existing lemma already subsumes the
+        new one at this level or higher (nothing to add).  ``retired``
+        lists the strictly weaker lemmas the new one replaces; the caller
+        deactivates their solver clauses.
+        """
+        retired: list[Lemma] = []
+        for other in self._lemmas:
+            if other.retired:
+                continue
+            if other.level >= level and other.cube <= cube:
+                return None, retired
+            if other.level <= level and other.cube >= cube:
+                other.retired = True
+                self.subsumed += 1
+                retired.append(other)
+        lemma = Lemma(cube, level)
+        self._lemmas.append(lemma)
+        self.added += 1
+        return lemma, retired
+
+    def promote(self, lemma: Lemma) -> list[Lemma]:
+        """Push a lemma one frame up; returns newly subsumed lemmas."""
+        lemma.level += 1
+        retired: list[Lemma] = []
+        for other in self._lemmas:
+            if other is lemma or other.retired:
+                continue
+            if other.level <= lemma.level and other.cube >= lemma.cube:
+                other.retired = True
+                self.subsumed += 1
+                retired.append(other)
+        return retired
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def at_level(self, level: int) -> list[Lemma]:
+        """Active lemmas stored at exactly ``level`` (the delta set)."""
+        return [
+            lemma for lemma in self._lemmas
+            if not lemma.retired and lemma.level == level
+        ]
+
+    def from_level(self, level: int) -> list[Lemma]:
+        """Active lemmas of ``F_level`` (stored at ``level`` or above)."""
+        return [
+            lemma for lemma in self._lemmas
+            if not lemma.retired and lemma.level >= level
+        ]
+
+    def blocking_level(self, cube: frozenset[int], level: int) -> int | None:
+        """Highest level ``≥ level`` at which some lemma subsumes ``cube``.
+
+        ``None`` when no lemma blocks the cube at ``level`` — the caller
+        must pose the SAT query.
+        """
+        best: int | None = None
+        for lemma in self._lemmas:
+            if lemma.retired or lemma.level < level:
+                continue
+            if lemma.cube <= cube and (best is None or lemma.level > best):
+                best = lemma.level
+        return best
+
+    def invariant_clauses(self, level: int) -> list[tuple[int, ...]]:
+        """The clauses of ``F_level`` in a deterministic order."""
+        return sorted(
+            (lemma.clause() for lemma in self.from_level(level)),
+            key=lambda clause: (len(clause), clause),
+        )
+
+
+def cube_excludes_init(
+    cube: frozenset[int], init: Mapping[int, bool]
+) -> bool:
+    """True iff the initial state does not satisfy the cube."""
+    return any(
+        (lit > 0) != init[abs(lit)] for lit in cube
+    )
+
+
+def state_to_cube(state: Mapping[int, bool]) -> frozenset[int]:
+    """A full latch assignment as a cube of signed node ids."""
+    return frozenset(
+        node if value else -node for node, value in state.items()
+    )

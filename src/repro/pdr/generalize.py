@@ -1,0 +1,209 @@
+"""Cube generalization: ternary expansion and unsat-core dropping.
+
+Two independent widenings keep PDR's reasoning per-query cheap:
+
+* **Ternary-simulation expansion** (SAT side).  A model gives one
+  concrete predecessor (or bad) state; most of its latches are
+  irrelevant to where it steps under the model's inputs.  Each latch is
+  tentatively set to X and the targets re-evaluated in three-valued
+  logic; latches whose X never reaches a target output are dropped, so
+  one SAT model covers a whole cube of states.  A bit-parallel binary
+  pre-filter (one :func:`repro.aig.simulate.simulate` call evaluating
+  every single-latch flip at once) rules out the latches that provably
+  matter before the exact ternary walk runs.  The expansion guarantee —
+  *every* completion of the cube reaches the targets under the fixed
+  inputs — is exactly what makes obligation chains replayable as
+  concrete counterexample traces.
+
+* **Unsat-core dropping** (UNSAT side).  When a consecution query
+  refutes a cube, :attr:`repro.sat.solver.Solver.core` names the primed
+  assumption literals the refutation actually used; the rest of the
+  cube is dropped outright, and the survivors are attacked one by one
+  with further queries.  Every candidate must keep excluding the
+  initial state — a clause the initial state violates would break the
+  certificate's initiation check.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import simulate
+from repro.circuits.netlist import Netlist
+from repro.pdr.frames import cube_excludes_init, state_to_cube
+from repro.util.stats import StatsBag
+
+Targets = Sequence[tuple[int, bool]]
+
+
+def _ternary_eval(
+    aig: Aig,
+    assignment: Mapping[int, bool | None],
+    targets: Targets,
+) -> bool:
+    """True iff every target edge evaluates to its required value in
+    three-valued logic (``None`` = X) under the assignment."""
+    edges = [edge for edge, _ in targets]
+    values: dict[int, bool | None] = {0: False}
+    for node in aig.cone(edges):
+        if aig.is_input(node):
+            values[node] = assignment.get(node, False)
+            continue
+        f0, f1 = aig.fanins(node)
+        a = values[f0 >> 1]
+        if a is not None and f0 & 1:
+            a = not a
+        b = values[f1 >> 1]
+        if b is not None and f1 & 1:
+            b = not b
+        if a is False or b is False:
+            values[node] = False
+        elif a is None or b is None:
+            values[node] = None
+        else:
+            values[node] = True
+    for edge, required in targets:
+        value = values.get(edge >> 1, False)
+        if value is not None and edge & 1:
+            value = not value
+        if value is not required:
+            return False
+    return True
+
+
+def _flip_candidates(
+    netlist: Netlist,
+    state: Mapping[int, bool],
+    inputs: Mapping[int, bool],
+    targets: Targets,
+) -> list[int]:
+    """Latches whose single flip leaves every target at its required
+    value — the only possible ternary drops, found with one bit-parallel
+    simulation (pattern 0 is the base assignment, pattern k flips the
+    k-th latch)."""
+    latch_nodes = netlist.latch_nodes
+    patterns = len(latch_nodes) + 1
+    words = (patterns + 63) // 64
+    vectors: dict[int, np.ndarray] = {}
+    for node, value in inputs.items():
+        vectors[node] = np.full(
+            words, 0xFFFFFFFFFFFFFFFF if value else 0, dtype=np.uint64
+        )
+    for k, node in enumerate(latch_nodes):
+        base = np.full(
+            words, 0xFFFFFFFFFFFFFFFF if state[node] else 0,
+            dtype=np.uint64,
+        )
+        flip_at = k + 1
+        base[flip_at // 64] ^= np.uint64(1) << np.uint64(flip_at % 64)
+        vectors[node] = base
+    outputs = simulate(netlist.aig, vectors, [edge for edge, _ in targets])
+    ok = ~np.zeros(words, dtype=np.uint64)
+    for edge, required in targets:
+        vector = outputs[edge]
+        ok &= vector if required else ~vector
+    candidates = []
+    for k, node in enumerate(latch_nodes):
+        flip_at = k + 1
+        if int(ok[flip_at // 64]) >> (flip_at % 64) & 1:
+            candidates.append(node)
+    return candidates
+
+
+def expand_cube(
+    netlist: Netlist,
+    state: Mapping[int, bool],
+    inputs: Mapping[int, bool],
+    targets: Targets,
+    stats: StatsBag,
+) -> frozenset[int]:
+    """Widen a concrete state to a cube whose every completion satisfies
+    the targets under the fixed inputs.
+
+    Greedy: latches surviving the flip pre-filter are X-ed one at a
+    time; a drop is kept only if the exact ternary evaluation still
+    forces every target.  The returned cube contains the surviving
+    literals of ``state``.
+    """
+    if not targets:
+        # Nothing to preserve: any single literal suffices to name the
+        # cube, but an empty target list only arises for latch-free or
+        # degenerate calls — keep the full state and let the caller cope.
+        return state_to_cube(state)
+    candidates = _flip_candidates(netlist, state, inputs, targets)
+    assignment: dict[int, bool | None] = dict(inputs)
+    assignment.update(state)
+    dropped = 0
+    for node in candidates:
+        saved = assignment[node]
+        assignment[node] = None
+        if _ternary_eval(netlist.aig, assignment, targets):
+            dropped += 1
+        else:
+            assignment[node] = saved
+    stats.incr("pdr_ternary_dropped", dropped)
+    return frozenset(
+        node if assignment[node] else -node
+        for node in netlist.latch_nodes
+        if assignment[node] is not None
+    )
+
+
+# ---------------------------------------------------------------------- #
+# UNSAT-side generalization
+# ---------------------------------------------------------------------- #
+
+
+def shrink_with_core(
+    cube: frozenset[int],
+    core: frozenset[int],
+    init: Mapping[int, bool],
+) -> frozenset[int]:
+    """Keep the cube literals the refutation used, preserving initiation.
+
+    If the core alone no longer excludes the initial state (or is
+    empty), one deterministic literal of the original cube that
+    disagrees with the initial state is restored — such a literal always
+    exists because obligation cubes never contain the initial state.
+    """
+    shrunk = cube & core
+    if shrunk and cube_excludes_init(shrunk, init):
+        return shrunk
+    rescue = min(
+        (
+            lit for lit in cube
+            if (lit > 0) != init[abs(lit)]
+        ),
+        key=abs,
+    )
+    return shrunk | {rescue}
+
+
+def generalize_cube(
+    pool,
+    level: int,
+    cube: frozenset[int],
+    init: Mapping[int, bool],
+    stats: StatsBag,
+) -> frozenset[int]:
+    """Drop further literals from an already-blocked cube.
+
+    Each surviving literal is attacked with its own consecution query;
+    a successful drop immediately re-shrinks with the new core.  The
+    cube stays init-excluding throughout, so its negation is always a
+    sound lemma.
+    """
+    for lit in sorted(cube, key=abs):
+        if lit not in cube or len(cube) == 1:
+            continue
+        candidate = cube - {lit}
+        if not cube_excludes_init(candidate, init):
+            continue
+        verdict, payload, _ = pool.relative_query(level, candidate)
+        if verdict == "unsat":
+            cube = shrink_with_core(candidate, payload, init)
+            stats.incr("pdr_core_dropped")
+    return cube

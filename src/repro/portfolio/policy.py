@@ -78,6 +78,7 @@ def _predict_order(features: dict[str, float], engines: list[str]) -> list[str]:
     latches = features["latches"]
     inputs = features["inputs"]
     ands = features["ands"]
+    depth = features["depth"]
     scores = {
         # BDDs shine while the state space is small and die by width.
         "reach_bdd": latches + 0.25 * ands,
@@ -90,12 +91,20 @@ def _predict_order(features: dict[str, float], engines: list[str]) -> list[str]:
         # BMC is unbeatable on shallow bugs but proves nothing; induction
         # is two SAT calls when the property is inductive.  Both get a
         # small constant so complete engines win ties on tiny circuits.
-        "bmc": 1.5 + 0.05 * ands,
+        # The latch term prices BMC's gamble: the wider the state space,
+        # the less likely the bug is shallow enough for a depth sweep.
+        "bmc": 1.5 + 0.05 * ands + 0.04 * latches,
         "k_induction": 1.0 + 0.05 * ands,
         # Interpolation is the deep-PROVED specialist: insensitive to
         # latch count (no canonical state sets), pays per gate in the
         # unrolled CNF, and proof logging taxes wide input cones.
         "itp": 2.5 + 0.05 * ands + 0.3 * inputs,
+        # PDR never unrolls, so latch count is free; its single-step
+        # queries pay per gate *level* (deep combinational cones make
+        # generalization queries slow), which makes it the first pick on
+        # wide-but-shallow state machines where itp's unrollings and
+        # BMC's depth sweeps both blow up.
+        "pdr": 2.0 + 0.25 * depth + 0.02 * ands,
     }
     return sorted(engines, key=lambda m: (scores.get(m, 1e9), m))
 

@@ -19,6 +19,20 @@ decision heuristic with an indexed max-heap, phase saving, first-UIP conflict
 analysis with clause minimization, Luby restarts and LBD-guided learned
 clause database reduction.
 
+Phase saving is explicit and controllable: ``Solver(phase_saving=False)``
+freezes branching polarities at their defaults (or whatever
+:meth:`Solver.set_polarity` pinned), instead of re-using the polarity of
+the last unwound assignment.  Incremental workloads that pose long runs
+of near-identical queries — IC3/PDR frame queries, interpolation rounds —
+keep it on so each solve resumes near the previous one's assignment.
+
+Clauses can also be *removable*: :meth:`Solver.add_removable_clause`
+attaches a fresh activation literal to the clause, the clause only
+participates in a ``solve`` whose assumptions include that literal, and
+:meth:`Solver.retire_clause` permanently disables it.  This is the
+add/retire lifecycle PDR's per-frame lemma databases need without ever
+rebuilding CNF.
+
 With ``Solver(proof=True)`` every learned clause additionally records its
 resolution chain (antecedent proof-node ids, in trail order), level-0
 implied units record theirs, and an UNSAT verdict records the final
@@ -211,8 +225,14 @@ class Solver:
     <SolveResult.SAT: 'sat'>
     """
 
-    def __init__(self, cnf: CNF | None = None, proof: bool = False) -> None:
+    def __init__(
+        self,
+        cnf: CNF | None = None,
+        proof: bool = False,
+        phase_saving: bool = True,
+    ) -> None:
         self._nvars = 0
+        self._phase_saving = phase_saving
         # Per-variable state.
         self._values = bytearray()        # _UNASSIGNED / 1 (true) / 0 (false)
         self._levels: list[int] = []
@@ -352,6 +372,40 @@ class Solver:
                             proof_id=proof_id)
         return True
 
+    def add_removable_clause(self, lits: Iterable[int]) -> int:
+        """Add a clause guarded by a fresh activation literal.
+
+        Returns the (positive DIMACS) activation literal: the clause only
+        constrains a ``solve`` whose assumptions include it, and
+        :meth:`retire_clause` disables it permanently.  If the clause is
+        already falsified by level-0 facts, assuming the activation
+        literal simply yields UNSAT with the literal in the core — the
+        caller-visible behavior stays uniform.
+        """
+        activation = self.new_var()
+        self.add_clause(list(lits) + [-activation])
+        return activation
+
+    def retire_clause(self, activation: int) -> None:
+        """Permanently disable a clause added by ``add_removable_clause``.
+
+        The activation variable is pinned false, which satisfies the
+        guarded clause outright; the slot is reclaimed lazily by watch
+        cleanup.  Never reuse a retired activation literal.
+        """
+        self.add_clause([-activation])
+
+    def set_polarity(self, var: int, value: bool) -> None:
+        """Pin the branching polarity of ``var`` (a positive variable).
+
+        The next decision on ``var`` assigns ``value`` first.  With phase
+        saving enabled the hint lasts until the search overwrites it;
+        with ``phase_saving=False`` it is permanent.
+        """
+        if not 1 <= var <= self._nvars:
+            raise SatError(f"variable {var} out of range")
+        self._polarity[var - 1] = 1 if value else 0
+
     def _attach_clause(
         self, lits: list[int], learnt: bool, lbd: int, proof_id: int = -1
     ) -> int:
@@ -392,12 +446,14 @@ class Solver:
         if self._decision_level() <= level:
             return
         values, polarity, order = self._values, self._polarity, self._order
+        save_phases = self._phase_saving
         target = self._trail_lim[level]
         trail = self._trail
         for i in range(len(trail) - 1, target - 1, -1):
             lit = trail[i]
             var = lit >> 1
-            polarity[var] = values[var]
+            if save_phases:
+                polarity[var] = values[var]
             values[var] = _UNASSIGNED
             self._reasons[var] = -1
             order.insert(var)

@@ -55,6 +55,19 @@ class TestEngines:
         assert "variant:reach_aig" in lines["reach_aig_allsat"]
         assert "forward" in lines["itp"]
 
+    def test_lists_pdr_with_its_capabilities(self, capsys):
+        # The registry-derived listing must include the PDR engine with
+        # its full capability row (complete, trace-producing,
+        # constraint-honoring, forward).
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split()[0]: line for line in out.splitlines()[1:] if line
+        }
+        assert "pdr" in lines
+        for flag in ("complete", "trace", "constraints", "forward"):
+            assert flag in lines["pdr"], flag
+
 
 class TestInfo:
     def test_info_reports_structure(self, s27_bench, capsys):
@@ -115,6 +128,18 @@ class TestModelCheck:
 
     def test_itp_method_finds_counterexample(self, buggy_file, capsys):
         assert main(["mc", buggy_file, "--method", "itp", "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "failed" in out
+        assert "counterexample depth" in out
+
+    def test_pdr_method_proves(self, handshake_file, capsys):
+        assert main(["mc", handshake_file, "--method", "pdr"]) == 0
+        out = capsys.readouterr().out
+        assert "engine:  pdr" in out
+        assert "proved" in out
+
+    def test_pdr_method_finds_counterexample(self, buggy_file, capsys):
+        assert main(["mc", buggy_file, "--method", "pdr", "--trace"]) == 1
         out = capsys.readouterr().out
         assert "failed" in out
         assert "counterexample depth" in out
