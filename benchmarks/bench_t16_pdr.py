@@ -14,12 +14,22 @@ handful of single-step frame queries.  Two sides:
 Wall times, verdicts, frame/iteration counts and invariant sizes land
 in ``benchmarks/BENCH_BDD.json`` via ``record_json``.  Set
 ``BENCH_TINY=1`` (CI bench-smoke) to shrink the instances.
+
+The observability overhead check (``test_t16_obs_overhead``) runs each
+PROVED family once untraced and once with :mod:`repro.obs` tracing on,
+asserts the scalar stats are identical (the probes must never perturb
+the search), writes the Chrome trace to ``benchmarks/traces/`` (uploaded
+as a CI artifact, loadable in chrome://tracing / Perfetto) and records
+``obs_*`` overhead numbers into the trajectory.
 """
 
 import os
+import pathlib
 import time
 
 import pytest
+
+TRACE_DIR = pathlib.Path(__file__).parent / "traces"
 
 from repro.circuits import generators as G
 from repro.itp import ItpOptions
@@ -163,3 +173,57 @@ def test_t16_pdr_refutes_with_replayable_traces(
     )
     _record(design, "failed", timings, results, benchmark, record_json,
             record_row)
+
+
+@pytest.mark.parametrize("design", list(PROVED_FAMILIES))
+def test_t16_obs_overhead(benchmark, record_row, record_json, design):
+    build = PROVED_FAMILIES[design]
+    options = PdrOptions(max_frames=MAX_DEPTH)
+
+    start = time.perf_counter()
+    plain = verify(build(), method="pdr", options=options)
+    plain_seconds = time.perf_counter() - start
+
+    TRACE_DIR.mkdir(exist_ok=True)
+    trace_path = TRACE_DIR / f"t16_{design}.json"
+    start = time.perf_counter()
+    traced = verify(
+        build(), method="pdr", options=options, trace=str(trace_path)
+    )
+    traced_seconds = time.perf_counter() - start
+
+    # The zero-perturbation contract: probes only read kernel counters,
+    # so the traced run's search trajectory — every scalar stat — must
+    # match the untraced run bit for bit.
+    assert traced.status is plain.status
+    assert traced.stats.as_dict() == plain.stats.as_dict()
+    assert trace_path.exists()
+
+    overhead = (
+        traced_seconds / plain_seconds if plain_seconds > 0 else 1.0
+    )
+    record_json(
+        "t16_obs",
+        design=design,
+        obs_plain_seconds=plain_seconds,
+        obs_traced_seconds=traced_seconds,
+        obs_overhead_ratio=overhead,
+        obs_trace_spans=len(traced.tracer.spans),
+        obs_trace_samples=len(traced.tracer.counters),
+        obs_trace_file=trace_path.name,
+    )
+    record_row(
+        "T16 observability overhead",
+        f"{'design':<24}{'plain':>9}{'traced':>9}{'ratio':>7}"
+        f"{'spans':>7}{'samples':>9}",
+        f"{design:<24}"
+        f"{plain_seconds * 1000:>7.0f}ms"
+        f"{traced_seconds * 1000:>7.0f}ms"
+        f"{overhead:>6.2f}x"
+        f"{len(traced.tracer.spans):>7d}"
+        f"{len(traced.tracer.counters):>9d}",
+    )
+    benchmark.pedantic(
+        lambda: verify(build(), method="pdr", options=options),
+        rounds=1, iterations=1,
+    )

@@ -44,6 +44,11 @@ class ProgressEvent:
     frontier/iteration/cache numbers — and ``cached`` says whether it
     was served from the session's result cache without running an
     engine.  Batch events carry the session's aggregate ``stats``.
+
+    Tasks that run engines in worker processes (budgeted tasks, and the
+    ``portfolio`` composite) additionally emit ``engine_started``,
+    ``engine_finished`` and ``engine_cancelled`` events, forwarded from
+    the runner pipe, with ``engine`` naming the worker's engine.
     """
 
     kind: str
@@ -54,6 +59,7 @@ class ProgressEvent:
     elapsed: float = 0.0
     cached: bool = False
     stats: StatsBag | None = None
+    engine: str | None = None
 
 
 class Session:
@@ -167,7 +173,23 @@ class Session:
         else:
             if not spec.composite:
                 self.stats.incr("session_cache_misses")
-            result, memoize = self._run_engine(spec, task)
+
+            def forward(event: dict) -> None:
+                # Engine lifecycle dicts from the worker runner, re-shaped
+                # as progress events against this task.
+                self._emit(
+                    ProgressEvent(
+                        str(event.get("kind", "engine_event")),
+                        _index,
+                        _total,
+                        task=task,
+                        elapsed=float(event.get("elapsed", 0.0)),
+                        engine=event.get("engine"),
+                    ),
+                    _extra,
+                )
+
+            result, memoize = self._run_engine(spec, task, forward)
             if memoize:
                 self.cache.store(
                     task.netlist,
@@ -193,7 +215,7 @@ class Session:
         return result
 
     def _run_engine(
-        self, spec, task: VerificationTask
+        self, spec, task: VerificationTask, on_event=None
     ) -> tuple[VerificationResult, bool]:
         """Run the engine; returns (result, safe-to-memoize)."""
         options = task.engine_options()
@@ -203,6 +225,7 @@ class Session:
             # caller configured one explicitly), and they share this
             # session's cache unless the caller chose one.
             options = self._share_cache(spec, options)
+            options = self._wire_events(spec, options, on_event)
             if (
                 task.timeout is not None
                 and "options" not in options
@@ -232,6 +255,7 @@ class Session:
             budget=task.timeout,
             jobs=1,
             engine_options=options,
+            on_event=on_event,
         )
         (engine_outcome,) = outcome.outcomes
         result = engine_outcome.result
@@ -263,6 +287,28 @@ class Session:
                 )
             return options
         options.setdefault("cache", self.cache)
+        return options
+
+    @staticmethod
+    def _wire_events(spec, options: dict, on_event) -> dict:
+        """Thread the session's engine-event forwarder into a composite
+        engine's options (same two option styles as :meth:`_share_cache`;
+        an explicit caller-supplied callback is left in place)."""
+        if on_event is None:
+            return options
+        options_class = spec.options_class
+        if options_class is None or not any(
+            f.name == "on_event" for f in dataclasses.fields(options_class)
+        ):
+            return options
+        provided = options.get("options")
+        if provided is not None:
+            if getattr(provided, "on_event", None) is None:
+                options["options"] = dataclasses.replace(
+                    provided, on_event=on_event
+                )
+            return options
+        options.setdefault("on_event", on_event)
         return options
 
     @staticmethod

@@ -42,6 +42,7 @@ import sys
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import BddError, BddLimitExceeded
+from repro.obs import probes as _obs
 
 BDD_FALSE = 0
 BDD_TRUE = 1
@@ -430,6 +431,12 @@ class BddManager:
         All variables are eliminated in one cube-directed recursion (not
         one full rescan per variable) with a persistent tagged cache.
         """
+        # Probe on the non-recursive entry points only: quantification is
+        # the image workhorse, so sampling here (tick-throttled, and one
+        # branch when disabled) tracks node growth without touching the
+        # recursion itself.
+        if _obs.ENABLED:
+            _obs.bdd_tick(self)
         return self._exists_rec(f, self.cube_pos(variables))
 
     def exists_cube(self, f: int, cube: int) -> int:
@@ -439,6 +446,8 @@ class BddManager:
         returned by :meth:`cube_pos`; engines that quantify the same
         variable set every traversal step build the cube once.
         """
+        if _obs.ENABLED:
+            _obs.bdd_tick(self)
         return self._exists_rec(f, cube)
 
     def _exists_rec(self, f: int, cube: int) -> int:
@@ -484,10 +493,14 @@ class BddManager:
         workhorse; see :meth:`and_exists_cube` to amortize cube
         construction across calls.
         """
+        if _obs.ENABLED:
+            _obs.bdd_tick(self)
         return self._and_exists_rec(f, g, self.cube_pos(variables))
 
     def and_exists_cube(self, f: int, g: int, cube: int) -> int:
         """Fused ``exists cube . f AND g`` over a prebuilt positive cube."""
+        if _obs.ENABLED:
+            _obs.bdd_tick(self)
         return self._and_exists_rec(f, g, cube)
 
     def _and_exists_rec(self, f: int, g: int, cube: int) -> int:

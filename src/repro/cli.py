@@ -165,6 +165,14 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         quantify = QuantifyOptions.preset("full")
         quantify.schedule = args.schedule
         extra["quantify"] = quantify
+    # Bare --trace keeps its original meaning (print the counterexample
+    # states); --trace PATH and --report additionally turn on the
+    # repro.obs instrumentation for the run.
+    trace_path = args.trace if isinstance(args.trace, str) else None
+    if trace_path is not None:
+        extra["trace"] = trace_path
+    elif args.report is not None:
+        extra["trace"] = True
     result = verify(
         netlist, method=args.method, max_depth=args.max_depth, **extra
     )
@@ -192,6 +200,19 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                     str(int(state[node])) for node in latch_order
                 )
                 print(f"  step {step}: {bits}")
+    if trace_path is not None:
+        print(f"trace: wrote {trace_path}")
+    if args.report is not None:
+        from repro.obs import build_report
+
+        report = build_report(result, getattr(result, "tracer", None))
+        if isinstance(args.report, str):
+            report.write_json(args.report)
+            print(f"report: wrote {args.report}")
+        else:
+            print(report.render())
+    if args.stats:
+        print(result.stats.report(), file=sys.stderr)
     if result.failed:
         return 1
     if not result.status.is_conclusive:
@@ -255,6 +276,8 @@ def _cmd_portfolio(args: argparse.Namespace) -> int:
         print("winners: " + ", ".join(
             f"{name} x{count}" for name, count in sorted(winners.items())
         ))
+    if args.stats:
+        print(stats.report(), file=sys.stderr)
     statuses = {result.status for result in results}
     if Status.FAILED in statuses:
         return 1
@@ -406,7 +429,29 @@ def build_parser() -> argparse.ArgumentParser:
         "early quantification, or conjoin-then-quantify",
     )
     p_mc.add_argument(
-        "--trace", action="store_true", help="print the counterexample states"
+        "--trace",
+        nargs="?",
+        const=True,
+        default=False,
+        metavar="PATH",
+        help="print the counterexample states; with a PATH, also record "
+        "the run into a Chrome trace_event JSON file there "
+        "(chrome://tracing / Perfetto); pass after the input file",
+    )
+    p_mc.add_argument(
+        "--report",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="PATH",
+        help="print a post-run report (timeline, per-phase breakdown, "
+        "peak gauges); with a PATH, write the machine-readable JSON "
+        "document there instead",
+    )
+    p_mc.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's stats bag to stderr",
     )
     p_mc.add_argument(
         "--minimize",
@@ -452,6 +497,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fraig",
         action="store_true",
         help="FRAIG-preprocess the cones before dispatch",
+    )
+    p_port.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the aggregated portfolio stats bag to stderr",
     )
     p_port.set_defaults(func=_cmd_portfolio)
 

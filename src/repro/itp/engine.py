@@ -37,6 +37,7 @@ from repro.itp.proof import ResolutionProof
 from repro.mc.result import Status, Trace, VerificationResult
 from repro.mc.trace import find_violation_inputs
 from repro.mc.unroll import Unroller
+from repro.obs import probes as _obs
 from repro.sat.solver import SolveResult, Solver
 from repro.util.stats import StatsBag
 
@@ -56,7 +57,11 @@ def interpolation_reachability(
     depth = 1
     while depth <= options.max_depth:
         stats.set("itp_depth", depth)
-        verdict, trace, spent = _itp_round(netlist, depth, options, stats)
+        with _obs.span("itp.round", "engine", depth=depth) as round_span:
+            verdict, trace, spent = _itp_round(
+                netlist, depth, options, stats
+            )
+            round_span.set(verdict=verdict, iterations=spent)
         iterations += spent
         if verdict == "proved":
             return VerificationResult(
@@ -161,9 +166,19 @@ def _itp_round(
         var_edge = {frame1[node]: 2 * node for node in latch_nodes}
         if unroller.const_var is not None:
             var_edge[unroller.const_var] = FALSE
-        interpolant = extract_interpolant(proof, split, aig, var_edge)
-        stats.set("interpolant_nodes",
-                  float(aig.cone_and_count(interpolant)))
+        with _obs.span("itp.interpolant", "engine", depth=depth,
+                       iteration=iterations) as itp_span:
+            interpolant = extract_interpolant(proof, split, aig, var_edge)
+            interpolant_nodes = float(aig.cone_and_count(interpolant))
+            itp_span.set(nodes=interpolant_nodes)
+        stats.set("interpolant_nodes", interpolant_nodes)
+        if _obs.ENABLED:
+            # Interpolant growth per iteration is the engine's own
+            # convergence signal; sample it unconditionally of the tick.
+            tracer = _obs.tracer()
+            tracer.sample("itp.interpolant_nodes", interpolant_nodes)
+            stats.sample("itp.interpolant_nodes", interpolant_nodes,
+                         t=tracer.now())
         if options.verify_interpolants:
             cnf_a, cnf_b = proof.partition(split)
             width = max(cnf_a.num_vars, cnf_b.num_vars, solver.num_vars)
@@ -177,6 +192,9 @@ def _itp_round(
             stats.set("reach_nodes", float(aig.cone_and_count(reach)))
             return "proved", None, iterations
         reach = or_(aig, reach, interpolant)
+        if _obs.ENABLED:
+            _obs.sample("itp.reach_nodes", aig.cone_and_count(reach),
+                        bag=stats)
     return "deepen", None, iterations
 
 

@@ -14,8 +14,11 @@ options, run, replay-validate counterexamples.
 
 from __future__ import annotations
 
+import pathlib
+
 from repro.circuits.netlist import Netlist
 from repro.api.registry import get_engine, register_engine
+from repro.obs import probes as _obs
 from repro.itp.options import ItpOptions
 from repro.mc.bmc import BmcOptions, bmc
 from repro.mc.induction import KInductionOptions, k_induction
@@ -200,6 +203,7 @@ def _run_portfolio(
         fraig_preprocess=options.fraig_preprocess,
         stats=options.stats,
         engine_options=options.engine_options,
+        on_event=options.on_event,
     )
 
 
@@ -207,6 +211,7 @@ def verify(
     netlist: Netlist,
     method: str = "reach_aig",
     max_depth: int = 100,
+    trace: object = None,
     **options: object,
 ) -> VerificationResult:
     """Run one verification engine on a netlist.
@@ -219,8 +224,67 @@ def verify(
     replay-validated.  ``method="portfolio"`` races several engines via
     :func:`repro.portfolio.portfolio_verify`.
 
+    ``trace`` turns on the :mod:`repro.obs` instrumentation for the
+    duration of the call: pass ``True`` to collect spans/samples into a
+    fresh :class:`repro.obs.Tracer` (exposed as ``result.tracer``), a
+    ``str``/``Path`` to additionally write a Chrome ``trace_event`` JSON
+    file there, or a ready-made ``Tracer`` to record into.  When obs is
+    already enabled process-wide the active tracer is reused.  Left at
+    ``None`` (the default) the engines run with zero instrumentation
+    cost.
+
     For budgeted, observable, batched runs use
     :class:`repro.api.Session`; this function remains the thin
     single-call path.
     """
-    return get_engine(method).verify(netlist, max_depth=max_depth, **options)
+    if trace is None or trace is False:
+        # Fast path: still wrap in a root span when obs is already on
+        # (e.g. inside a portfolio worker forwarding to its parent).
+        if not _obs.ENABLED:
+            return get_engine(method).verify(
+                netlist, max_depth=max_depth, **options
+            )
+        with _obs.span("mc.verify", "engine", engine=method,
+                       netlist=netlist.name):
+            return get_engine(method).verify(
+                netlist, max_depth=max_depth, **options
+            )
+    return _verify_traced(netlist, method, max_depth, trace, options)
+
+
+def _verify_traced(
+    netlist: Netlist,
+    method: str,
+    max_depth: int,
+    trace: object,
+    options: dict,
+) -> VerificationResult:
+    from repro import obs
+
+    path: pathlib.Path | None = None
+    tracer: obs.Tracer | None = None
+    if isinstance(trace, obs.Tracer):
+        tracer = trace
+    elif isinstance(trace, (str, pathlib.Path)):
+        path = pathlib.Path(trace)
+    elif trace is not True:
+        raise TypeError(
+            f"trace must be a Tracer, a path, or True, got {trace!r}"
+        )
+    was_enabled = obs.is_enabled()
+    active = obs.enable(tracer)
+    try:
+        with active.span("mc.verify", category="engine", engine=method,
+                         netlist=netlist.name) as root:
+            result = get_engine(method).verify(
+                netlist, max_depth=max_depth, **options
+            )
+            root.set(status=result.status.value,
+                     iterations=result.iterations)
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if path is not None:
+        active.write_chrome_trace(path)
+    result.tracer = active
+    return result

@@ -42,6 +42,7 @@ from repro.core.schedule import (
 )
 from repro.errors import BddLimitExceeded, ModelCheckingError
 from repro.mc.result import Status, Trace, VerificationResult
+from repro.obs import probes as _obs
 from repro.util.stats import StatsBag
 
 
@@ -344,10 +345,13 @@ def bdd_backward_reachability(
         return _bdd_counterexample(model, layers, stats, iteration)
     while iteration < options.max_iterations:
         iteration += 1
-        preimage = model.preimage(frontier)
+        with _obs.span("bdd.preimage", "bdd", iteration=iteration):
+            preimage = model.preimage(frontier)
         new_frontier = manager.and_(preimage, manager.not_(reached))
         stats.max("peak_frontier_bdd", manager.size(new_frontier))
         stats.max("peak_reached_bdd", manager.size(reached))
+        if _obs.ENABLED:
+            _obs.bdd_tick(manager, bag=stats)
         manager.trim_caches()
         if new_frontier == BDD_FALSE:
             stats.set("iterations", iteration)
@@ -457,10 +461,13 @@ def bdd_forward_reachability(
         return _bdd_forward_counterexample(model, rings, stats)
     while iteration < options.max_iterations:
         iteration += 1
-        image = model.postimage(frontier)
+        with _obs.span("bdd.postimage", "bdd", iteration=iteration):
+            image = model.postimage(frontier)
         new_frontier = manager.and_(image, manager.not_(reached))
         stats.max("peak_frontier_bdd", manager.size(new_frontier))
         stats.max("peak_reached_bdd", manager.size(reached))
+        if _obs.ENABLED:
+            _obs.bdd_tick(manager, bag=stats)
         manager.trim_caches()
         if new_frontier == BDD_FALSE:
             stats.set("iterations", iteration)

@@ -1,0 +1,172 @@
+"""Low-overhead probe hooks for the hot kernels.
+
+The contract with the instrumented code (the same discipline as the
+solver's proof logging): a kernel guards every hook behind the
+module-level :data:`ENABLED` flag —
+
+    from repro.obs import probes as _obs
+    ...
+    if _obs.ENABLED:
+        _obs.solver_tick(self)
+
+so the disabled cost is one attribute load and a predicted branch, and
+the search trajectory (decisions, conflicts, cache contents) is
+bit-identical with instrumentation on or off: probes only *read*
+kernel counters, never mutate them.
+
+When enabled, every probe is additionally throttled by the active
+tracer's tick (:meth:`repro.obs.trace.Tracer.should_sample`), so even a
+solver making hundreds of thousands of propagations per second emits a
+bounded sample stream.
+
+Probe catalogue (all samples land in the tracer's counter series and,
+where a :class:`~repro.util.stats.StatsBag` is at hand, in its attached
+time-series):
+
+======================  =====================================================
+series                  meaning
+======================  =====================================================
+``sat.conflicts``       cumulative CDCL conflicts of the sampled solver
+``sat.propagations``    cumulative unit propagations
+``sat.restarts``        cumulative restarts
+``sat.learned_db``      live learned-clause database size
+``bdd.nodes``           allocated BDD nodes (terminals included)
+``bdd.cache_hit_rate``  aggregate apply-cache hit rate (0..1)
+``bdd.cache_entries``   live apply-cache entries across operations
+``pdr.queue_depth``     proof-obligation queue depth
+``pdr.lemmas``          live (non-retired) lemma count
+``pdr.frames``          frame count
+``itp.interpolant_nodes``  AND nodes of the latest interpolant
+``itp.reach_nodes``     AND nodes of the accumulated reached set
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import NULL_SPAN, Tracer
+
+# Rebound by activate()/deactivate().  Hot code reads the attribute
+# through the module (``probes.ENABLED``), so rebinding is visible
+# everywhere without any registration machinery.
+ENABLED = False
+_TRACER: Tracer | None = None
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide probe sink and enable."""
+    global ENABLED, _TRACER
+    _TRACER = tracer
+    ENABLED = True
+    return tracer
+
+
+def deactivate() -> None:
+    global ENABLED, _TRACER
+    ENABLED = False
+    _TRACER = None
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or ``None`` while disabled."""
+    return _TRACER
+
+
+def span(name: str, category: str = "engine", **attrs: object):
+    """A span on the active tracer; a shared no-op when disabled."""
+    if _TRACER is None:
+        return NULL_SPAN
+    return _TRACER.span(name, category, **attrs)
+
+
+def sample(name: str, value: float, bag=None) -> None:
+    """One tick-guarded sample into the tracer (and ``bag``'s series)."""
+    t = _TRACER
+    if t is None or not t.should_sample(name):
+        return
+    t.sample(name, value)
+    if bag is not None:
+        bag.sample(name, value, t=t.now())
+
+
+# ---------------------------------------------------------------------- #
+# Kernel-specific hooks
+# ---------------------------------------------------------------------- #
+
+
+def solver_tick(solver, bag=None) -> None:
+    """Sample a CDCL solver's cumulative counters (tick-guarded)."""
+    t = _TRACER
+    if t is None or not t.should_sample("sat.conflicts"):
+        return
+    now = t.now()
+    pairs = (
+        ("sat.conflicts", solver.conflicts),
+        ("sat.propagations", solver.propagations),
+        ("sat.restarts", solver.restarts),
+        ("sat.learned_db", len(solver._learnt_ids)),
+    )
+    for name, value in pairs:
+        t.sample(name, value)
+        if bag is not None:
+            bag.sample(name, value, t=now)
+
+
+def begin_solve(solver) -> tuple[float, int, int]:
+    """Snapshot taken at ``solve()`` entry; paired with :func:`end_solve`."""
+    t = _TRACER
+    if t is None:
+        return (0.0, 0, 0)
+    return (t.now(), solver.conflicts, solver.propagations)
+
+
+def end_solve(solver, snapshot: tuple[float, int, int], result) -> None:
+    """Record one ``sat.solve`` span with per-call deltas."""
+    t = _TRACER
+    if t is None:
+        return
+    start, conflicts0, propagations0 = snapshot
+    t.record_span(
+        "sat.solve",
+        "sat",
+        start,
+        t.now(),
+        result=getattr(result, "value", str(result)),
+        conflicts=solver.conflicts - conflicts0,
+        propagations=solver.propagations - propagations0,
+    )
+    solver_tick(solver)
+
+
+def bdd_tick(manager, bag=None) -> None:
+    """Sample a BDD manager's node count and cache behaviour."""
+    t = _TRACER
+    if t is None or not t.should_sample("bdd.nodes"):
+        return
+    now = t.now()
+    summary = manager.cache_summary()
+    pairs = (
+        ("bdd.nodes", manager.num_nodes),
+        ("bdd.cache_hit_rate", summary["cache_hit_rate"]),
+        ("bdd.cache_entries", summary["cache_entries"]),
+    )
+    for name, value in pairs:
+        t.sample(name, value)
+        if bag is not None:
+            bag.sample(name, value, t=now)
+
+
+def pdr_tick(queue_depth: int, frames, bag=None) -> None:
+    """Sample PDR's obligation queue depth and frame/lemma gauges."""
+    t = _TRACER
+    if t is None or not t.should_sample("pdr.queue_depth"):
+        return
+    now = t.now()
+    pairs = (
+        ("pdr.queue_depth", queue_depth),
+        ("pdr.lemmas", frames.lemma_count()),
+        ("pdr.frames", frames.num_frames),
+    )
+    for name, value in pairs:
+        t.sample(name, value)
+        if bag is not None:
+            bag.sample(name, value, t=now)

@@ -41,6 +41,7 @@ from repro.mc.result import (
     VerificationResult,
 )
 from repro.mc.trace import find_violation_inputs
+from repro.obs import probes as _obs
 from repro.pdr.certify import check_certificate
 from repro.pdr.frames import FrameTrace, cube_excludes_init, state_to_cube
 from repro.pdr.generalize import (
@@ -115,15 +116,18 @@ class _Pdr:
                     inputs,
                     [(self.netlist.property_edge, False)],
                 )
-                trace = self._block(
-                    _Obligation(cube, level, inputs=inputs)
-                )
+                with _obs.span("pdr.block_cube", "frames", frame=level):
+                    trace = self._block(
+                        _Obligation(cube, level, inputs=inputs)
+                    )
                 if trace is not None:
                     return self._result(Status.FAILED, trace=trace)
             if level >= options.max_frames:
                 return self._result(Status.UNKNOWN)
             self.frames.extend()
-            fixpoint = self._propagate()
+            with _obs.span("pdr.propagate", "frames",
+                           frame=self.frames.num_frames):
+                fixpoint = self._propagate()
             if fixpoint is not None:
                 return self._proved(level=fixpoint)
 
@@ -164,6 +168,8 @@ class _Pdr:
         while queue:
             _, _, obligation = heapq.heappop(queue)
             self._obligations += 1
+            if _obs.ENABLED:
+                _obs.pdr_tick(len(queue), self.frames, self.stats)
             if self._obligations > self.options.max_obligations:
                 raise ResourceLimit(
                     f"PDR exceeded {self.options.max_obligations} "

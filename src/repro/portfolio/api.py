@@ -30,6 +30,7 @@ def portfolio_verify(
     fraig_preprocess: bool = False,
     stats: StatsBag | None = None,
     engine_options: dict | None = None,
+    on_event=None,
 ) -> VerificationResult | list[VerificationResult]:
     """Verify one netlist (or a batch) with a portfolio of engines.
 
@@ -47,6 +48,9 @@ def portfolio_verify(
     * ``fraig_preprocess`` — functionally reduce the cones before
       dispatch; counterexamples are remapped and replay-validated on the
       original netlist.
+    * ``on_event`` — callback receiving engine lifecycle dicts
+      (``engine_started`` / ``engine_finished`` / ``engine_cancelled``)
+      from the worker runner.
 
     A single netlist returns a single :class:`VerificationResult`; a
     sequence returns a list in order.
@@ -64,5 +68,6 @@ def portfolio_verify(
         fraig_preprocess=fraig_preprocess,
         stats=stats,
         engine_options=engine_options,
+        on_event=on_event,
     )
     return results[0] if single else results

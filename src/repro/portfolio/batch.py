@@ -82,13 +82,16 @@ def check_many(
     fraig_preprocess: bool = False,
     stats: StatsBag | None = None,
     engine_options: dict | None = None,
+    on_event=None,
 ) -> list[VerificationResult]:
     """Verify a batch of netlists through the shared portfolio machinery.
 
     Returns one :class:`VerificationResult` per netlist, in order.  Each
     result's ``stats`` carries the portfolio bookkeeping (winner, wall
     time, per-engine labels, ``cache_hit`` when served from cache); pass
-    ``stats`` to also aggregate those across the batch.
+    ``stats`` to also aggregate those across the batch, and ``on_event``
+    to receive engine lifecycle dicts from the runner
+    (:data:`repro.portfolio.runner.EventCallback`).
     """
     if cache is None:
         store = ResultCache()
@@ -113,6 +116,7 @@ def check_many(
             fraig_preprocess=fraig_preprocess,
             bag=bag,
             engine_options=engine_options,
+            on_event=on_event,
         )
         results.append(result)
     # Only this call's share of a (possibly long-lived, shared) cache.
@@ -134,6 +138,7 @@ def _check_one(
     fraig_preprocess: bool,
     bag: StatsBag,
     engine_options: dict | None,
+    on_event=None,
 ) -> VerificationResult:
     # Cache pass: a decisive hit answers immediately; an UNKNOWN hit
     # (stamped with >= this budget) disqualifies that engine from the
@@ -167,6 +172,7 @@ def _check_one(
         budget=budget,
         jobs=jobs if parallel else 1,
         engine_options=engine_options,
+        on_event=on_event,
     )
     for engine_outcome in outcome.outcomes:
         if engine_outcome.cancelled or engine_outcome.crashed:

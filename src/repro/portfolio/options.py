@@ -35,3 +35,7 @@ class PortfolioOptions:
     fraig_preprocess: bool = False
     stats: "StatsBag | None" = None
     engine_options: dict | None = None
+    # Engine lifecycle callback (engine_started / engine_finished /
+    # engine_cancelled dicts from the worker runner); Session wires its
+    # progress stream through this.
+    on_event: "object | None" = None

@@ -8,6 +8,16 @@ copy of the netlist — wins the race and the losers are terminated.
 Timeouts and crashes are mapped to :data:`Status.UNKNOWN` results (with
 the failure mode recorded in the stats), never to exceptions: a portfolio
 is exactly the place where individual engines are allowed to lose.
+
+The worker pipe carries more than the final verdict.  A worker announces
+itself with an ``("event", {...})`` message (kind ``engine_started``),
+and — when the parent had :mod:`repro.obs` tracing enabled at launch —
+streams its spans and counter samples back as ``("obs", records)``
+before the closing ``("ok", result)`` / ``("error", message)``.  The
+parent merges those records into its own tracer (workers build theirs on
+the parent's epoch, so the timelines line up) and surfaces lifecycle
+events through the ``on_event`` callback, which
+:class:`repro.api.Session` re-emits as progress events.
 """
 
 from __future__ import annotations
@@ -16,12 +26,19 @@ import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro import obs
 from repro.circuits.netlist import Netlist
 from repro.mc.result import Status, VerificationResult
 from repro.util.stats import StatsBag
 
 _POLL_INTERVAL = 0.01
+
+# Signature of the lifecycle callback: one dict per event, with at least
+# ``kind`` ("engine_started" / "engine_finished" / "engine_cancelled"),
+# ``engine`` and ``elapsed`` keys.
+EventCallback = Callable[[dict], None]
 
 
 def _context() -> multiprocessing.context.BaseContext:
@@ -31,15 +48,52 @@ def _context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
-def _worker(conn, netlist: Netlist, method: str, max_depth: int, options: dict):
-    """Engine subprocess body: one verify call, one message back."""
+def _worker(
+    conn,
+    netlist: Netlist,
+    method: str,
+    max_depth: int,
+    options: dict,
+    obs_cfg: dict | None = None,
+):
+    """Engine subprocess body: announce, verify, stream obs, report back."""
+    tracer = None
     try:
         from repro.mc.engine import verify
 
+        conn.send(
+            (
+                "event",
+                {
+                    "kind": "engine_started",
+                    "engine": method,
+                    "pid": os.getpid(),
+                },
+            )
+        )
+        if obs_cfg is not None:
+            # A forked worker inherits the parent's enabled flag AND its
+            # tracer (with everything the parent already recorded); drop
+            # that and collect into a fresh tracer on the parent's epoch
+            # so exported records merge into one timeline without
+            # duplicating the parent's spans.
+            obs.disable()
+            tracer = obs.enable(
+                obs.Tracer(
+                    tick=obs_cfg.get("tick", 0.01),
+                    epoch=obs_cfg.get("epoch"),
+                )
+            )
+        elif obs.is_enabled():  # pragma: no cover - fork inherited state
+            obs.disable()
         result = verify(netlist, method=method, max_depth=max_depth, **options)
+        if tracer is not None:
+            conn.send(("obs", tracer.export_records()))
         conn.send(("ok", result))
     except BaseException as exc:  # noqa: BLE001 - contained, reported as UNKNOWN
         try:
+            if tracer is not None:
+                conn.send(("obs", tracer.export_records()))
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
         except Exception:  # pragma: no cover - parent already gone
             pass
@@ -84,13 +138,13 @@ class _Run:
 
     __slots__ = ("method", "process", "conn", "started")
 
-    def __init__(self, ctx, netlist, method, max_depth, options):
+    def __init__(self, ctx, netlist, method, max_depth, options, obs_cfg):
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         self.method = method
         self.conn = parent_conn
         self.process = ctx.Process(
             target=_worker,
-            args=(child_conn, netlist, method, max_depth, options),
+            args=(child_conn, netlist, method, max_depth, options, obs_cfg),
             daemon=True,
         )
         self.process.start()
@@ -127,6 +181,7 @@ def run_portfolio(
     jobs: int | None = None,
     stop_on_decisive: bool = True,
     engine_options: dict | None = None,
+    on_event: EventCallback | None = None,
 ) -> PortfolioOutcome:
     """Race ``methods`` on one netlist under a per-engine budget.
 
@@ -135,6 +190,13 @@ def run_portfolio(
     ``jobs=1`` with an ordered method list is sequential fallback.  The
     first decisive verdict cancels the remaining workers unless
     ``stop_on_decisive`` is false (useful for agreement checking).
+
+    ``on_event`` receives engine lifecycle dicts (``engine_started``
+    forwarded from the worker pipe, ``engine_finished`` /
+    ``engine_cancelled`` emitted parent-side).  When :mod:`repro.obs`
+    tracing is enabled in the calling process, every worker traces on the
+    parent's epoch and its spans/samples are merged into the active
+    tracer as they stream back.
     """
     if not methods:
         raise ValueError("portfolio needs at least one engine")
@@ -143,6 +205,12 @@ def run_portfolio(
         jobs = min(len(methods), max(2, os.cpu_count() or 1))
     jobs = max(1, jobs)
     options = dict(engine_options or {})
+    tracer = obs.current_tracer() if obs.is_enabled() else None
+    obs_cfg = (
+        {"epoch": tracer.epoch, "tick": tracer.tick}
+        if tracer is not None
+        else None
+    )
     pending = list(methods)
     running: list[_Run] = []
     outcomes: list[EngineOutcome] = []
@@ -150,9 +218,24 @@ def run_portfolio(
     winning: VerificationResult | None = None
     start = time.monotonic()
 
+    def notify(kind: str, method: str, elapsed: float, **extra) -> None:
+        if on_event is not None:
+            on_event(
+                {"kind": kind, "engine": method, "elapsed": elapsed, **extra}
+            )
+
     def finish(run: _Run, outcome: EngineOutcome) -> None:
         running.remove(run)
         outcomes.append(outcome)
+        if outcome.cancelled:
+            notify("engine_cancelled", outcome.method, outcome.elapsed)
+        else:
+            notify(
+                "engine_finished",
+                outcome.method,
+                outcome.elapsed,
+                label=outcome.label,
+            )
 
     # With stop_on_decisive=False every engine must run to completion
     # even after a winner lands (agreement checking).
@@ -162,7 +245,9 @@ def run_portfolio(
     while running or launching():
         while launching() and len(running) < jobs:
             running.append(
-                _Run(ctx, netlist, pending.pop(0), max_depth, options)
+                _Run(
+                    ctx, netlist, pending.pop(0), max_depth, options, obs_cfg
+                )
             )
         progressed = False
         for run in list(running):
@@ -174,6 +259,18 @@ def run_portfolio(
                     kind, payload = run.conn.recv()
                 except (EOFError, OSError):
                     kind, payload = "error", "worker died mid-message"
+                if kind == "event":
+                    # Lifecycle announcement; the final verdict is still
+                    # to come, so the run stays in flight.
+                    if on_event is not None:
+                        on_event({"elapsed": run.elapsed, **payload})
+                    continue
+                if kind == "obs":
+                    # Worker trace records, stitched into the parent's
+                    # timeline (the worker traced on our epoch).
+                    if tracer is not None:
+                        tracer.merge_records(payload)
+                    continue
                 elapsed = run.elapsed
                 run.kill()
                 if kind != "ok":
@@ -212,6 +309,7 @@ def run_portfolio(
                                     cancelled=True,
                                 )
                             )
+                            notify("engine_cancelled", method, 0.0)
                         pending.clear()
                         for loser in list(running):
                             loser.kill()

@@ -50,6 +50,7 @@ import enum
 from typing import Iterable, Sequence
 
 from repro.errors import SatError
+from repro.obs import probes as _obs
 from repro.sat.cnf import CNF
 
 # Internal literal encoding: variable v in [0, n) maps to literals 2*v
@@ -805,8 +806,16 @@ class Solver:
         self._model = []
         self._failed_assumptions = []
         self._core = None
+        # Observability: like proof logging, the probe hooks never touch
+        # the search (they only read counters), so trajectories stay
+        # bit-identical; disabled cost is one branch per solve/restart.
+        observed = _obs.ENABLED
+        if observed:
+            snapshot = _obs.begin_solve(self)
         if not self._ok:
             self._core = ()
+            if observed:
+                _obs.end_solve(self, snapshot, SolveResult.UNSAT)
             return SolveResult.UNSAT
         for lit in assumptions:
             self._ensure_var(abs(lit))
@@ -854,6 +863,8 @@ class Solver:
                     restart_limit = self._restart_base * _luby(restart_index)
                     conflicts_since_restart = 0
                     self._cancel_until(0)
+                    if observed:
+                        _obs.solver_tick(self)
                 if self.learned_clauses and \
                         len(self._learnt_ids) > max_learnts:
                     self._reduce_db()
@@ -888,6 +899,8 @@ class Solver:
             self._trail_lim.append(len(self._trail))
             self._enqueue(2 * var + (0 if self._polarity[var] else 1), -1)
         self._cancel_until(0)
+        if observed:
+            _obs.end_solve(self, snapshot, result)
         return result
 
     # ------------------------------------------------------------------ #

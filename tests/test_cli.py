@@ -166,6 +166,86 @@ class TestModelCheck:
         assert code in (0, 1)
 
 
+class TestObservabilityFlags:
+    def test_trace_path_writes_chrome_trace(
+        self, handshake_file, tmp_path, capsys
+    ):
+        import json
+
+        out = tmp_path / "run.json"
+        code = main(
+            ["mc", handshake_file, "--method", "pdr", "--trace", str(out)]
+        )
+        assert code == 0
+        assert f"trace: wrote {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        categories = {
+            event["cat"]
+            for event in doc["traceEvents"]
+            if event["ph"] == "X"
+        }
+        assert {"engine", "frames", "sat"} <= categories
+
+    def test_bare_trace_still_prints_counterexample(
+        self, buggy_file, capsys
+    ):
+        # Backwards compatibility: --trace without a PATH keeps its
+        # original meaning and never writes a file.
+        assert main(["mc", buggy_file, "--trace"]) == 1
+        out = capsys.readouterr().out
+        assert "step 0" in out
+        assert "trace: wrote" not in out
+
+    def test_report_prints_summary(self, handshake_file, capsys):
+        code = main(["mc", handshake_file, "--method", "pdr", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report: pdr -> proved" in out
+        assert "phases:" in out
+
+    def test_report_path_writes_json(
+        self, handshake_file, tmp_path, capsys
+    ):
+        import json
+
+        path = tmp_path / "report.json"
+        code = main(
+            ["mc", handshake_file, "--method", "pdr",
+             "--report", str(path)]
+        )
+        assert code == 0
+        doc = json.loads(path.read_text())
+        assert doc["engine"] == "pdr"
+        assert doc["status"] == "proved"
+        assert doc["phases"]
+
+    def test_mc_stats_flag_prints_to_stderr(self, handshake_file, capsys):
+        assert main(
+            ["mc", handshake_file, "--method", "pdr", "--stats"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "sat_calls" in err
+
+    def test_portfolio_stats_flag_prints_to_stderr(
+        self, handshake_file, capsys
+    ):
+        code = main(
+            ["portfolio", handshake_file, "--timeout", "10", "--stats"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "problems" in err
+
+    def test_tracing_disabled_after_cli_run(self, handshake_file, tmp_path):
+        from repro import obs
+
+        main(
+            ["mc", handshake_file, "--method", "pdr",
+             "--trace", str(tmp_path / "t.json")]
+        )
+        assert not obs.is_enabled()
+
+
 class TestQuantify:
     def test_quantify_reports_sizes(self, s27_bench, capsys):
         code = main(
