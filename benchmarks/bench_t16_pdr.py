@@ -199,6 +199,21 @@ def test_t16_obs_overhead(benchmark, record_row, record_json, design):
     assert traced.stats.as_dict() == plain.stats.as_dict()
     assert trace_path.exists()
 
+    # Same contract on the BDD side: bdd_tick reads the manager's scalar
+    # hit/miss counters and cache lens directly (no summary dict per
+    # tick), and the traced traversal must report identical stats —
+    # node counts, cache hits, iteration gauges — to the untraced one.
+    plain_bdd = verify(build(), method="reach_bdd", max_depth=MAX_DEPTH)
+    traced_bdd = verify(
+        build(), method="reach_bdd", max_depth=MAX_DEPTH, trace=True
+    )
+    assert traced_bdd.status is plain_bdd.status
+    assert traced_bdd.stats.as_dict() == plain_bdd.stats.as_dict()
+    assert any(
+        record.name.startswith("bdd.")
+        for record in traced_bdd.tracer.counters
+    )
+
     overhead = (
         traced_seconds / plain_seconds if plain_seconds > 0 else 1.0
     )

@@ -1,0 +1,179 @@
+"""Per-PR benchmark trajectory: consolidation and regression gating.
+
+Every recording benchmark session rewrites ``benchmarks/BENCH_BDD.json``
+with that session's records — a snapshot, not a history.  This tool
+folds snapshots into ``benchmarks/TRAJECTORY.json``, an append-only list
+of labelled entries, and gates a fresh snapshot against the last entry
+of the same profile:
+
+    # archive the current snapshot under a label
+    python benchmarks/compare.py record --label pr7-after --profile full
+
+    # fail (exit 1) if any timing regressed >20% vs the last entry
+    python benchmarks/compare.py gate --profile tiny --threshold 1.2
+
+Records are matched on ``(benchmark, design)``; every numeric field
+ending in ``_seconds`` is a timing metric.  The gate's default mode is
+``relative``: each timing is normalised by the snapshot's total wall
+time before comparison, so a uniformly slower CI runner does not trip
+the gate but a *disproportionate* slowdown of one kernel does.  Pass
+``--mode absolute`` for same-machine comparisons.  Tiny timings are
+noise-dominated, so metrics under ``--floor-ms`` (default 25ms in the
+slower run) are never flagged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).parent
+SNAPSHOT = BENCH_DIR / "BENCH_BDD.json"
+TRAJECTORY = BENCH_DIR / "TRAJECTORY.json"
+
+
+def _load_snapshot(path: pathlib.Path) -> list[dict]:
+    if not path.exists():
+        sys.exit(f"no benchmark snapshot at {path}; run the benchmarks first")
+    return json.loads(path.read_text())
+
+
+def _load_trajectory() -> list[dict]:
+    if not TRAJECTORY.exists():
+        return []
+    return json.loads(TRAJECTORY.read_text())
+
+
+def _timings(records: list[dict]) -> dict[tuple, dict[str, float]]:
+    """``(benchmark, design) -> {metric: seconds}`` for one snapshot."""
+    out: dict[tuple, dict[str, float]] = {}
+    for record in records:
+        key = (record.get("benchmark"), record.get("design"))
+        metrics = out.setdefault(key, {})
+        for field, value in record.items():
+            if field.endswith("_seconds") and isinstance(value, (int, float)):
+                metrics[field] = float(value)
+    return out
+
+
+def _total(timings: dict[tuple, dict[str, float]]) -> float:
+    return sum(v for metrics in timings.values() for v in metrics.values())
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    records = _load_snapshot(pathlib.Path(args.snapshot))
+    trajectory = _load_trajectory()
+    trajectory.append(
+        {
+            "label": args.label,
+            "profile": args.profile,
+            "records": records,
+        }
+    )
+    TRAJECTORY.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"recorded {len(records)} records as '{args.label}' "
+        f"(profile={args.profile}); trajectory has {len(trajectory)} entries"
+    )
+    return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    current = _timings(_load_snapshot(pathlib.Path(args.snapshot)))
+    trajectory = [
+        entry for entry in _load_trajectory()
+        if entry.get("profile") == args.profile
+    ]
+    if not trajectory:
+        print(
+            f"no trajectory entry with profile '{args.profile}' — "
+            "gate passes vacuously (record a baseline first)"
+        )
+        return 0
+    baseline_entry = trajectory[-1]
+    baseline = _timings(baseline_entry["records"])
+
+    cur_total = _total(current) or 1.0
+    base_total = _total(baseline) or 1.0
+    floor = args.floor_ms / 1000.0
+
+    failures: list[str] = []
+    compared = 0
+    for key, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(key)
+        if cur_metrics is None:
+            continue
+        for metric, base_value in sorted(base_metrics.items()):
+            cur_value = cur_metrics.get(metric)
+            if cur_value is None:
+                continue
+            compared += 1
+            if max(base_value, cur_value) < floor:
+                continue
+            if args.mode == "relative":
+                old = base_value / base_total
+                new = cur_value / cur_total
+            else:
+                old = base_value
+                new = cur_value
+            if old <= 0.0:
+                continue
+            ratio = new / old
+            line = (
+                f"{key[0]}/{key[1]} {metric}: "
+                f"{base_value * 1000:.1f}ms -> {cur_value * 1000:.1f}ms "
+                f"({args.mode} ratio {ratio:.2f}x)"
+            )
+            if ratio > args.threshold:
+                failures.append(line)
+            elif args.verbose:
+                print("ok   " + line)
+    print(
+        f"gate: {compared} timings compared against "
+        f"'{baseline_entry['label']}' (profile={args.profile}, "
+        f"threshold {args.threshold:.2f}x, mode={args.mode})"
+    )
+    if failures:
+        print(f"FAIL: {len(failures)} regression(s) above threshold:")
+        for line in failures:
+            print("  " + line)
+        return 1
+    print("PASS: no regression above threshold")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="append the current snapshot to the trajectory"
+    )
+    record.add_argument("--label", required=True)
+    record.add_argument("--profile", default="full",
+                        choices=("full", "tiny"))
+    record.add_argument("--snapshot", default=str(SNAPSHOT))
+    record.set_defaults(func=cmd_record)
+
+    gate = sub.add_parser(
+        "gate", help="fail on timing regressions vs the last entry"
+    )
+    gate.add_argument("--profile", default="full", choices=("full", "tiny"))
+    gate.add_argument("--threshold", type=float, default=1.2)
+    gate.add_argument("--mode", default="relative",
+                      choices=("relative", "absolute"))
+    gate.add_argument("--floor-ms", type=float, default=25.0)
+    gate.add_argument("--snapshot", default=str(SNAPSHOT))
+    gate.add_argument("--verbose", action="store_true")
+    gate.set_defaults(func=cmd_gate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

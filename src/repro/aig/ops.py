@@ -63,12 +63,21 @@ def or_all(aig: Aig, edges: Iterable[int]) -> int:
 
 
 def support(aig: Aig, edge: int) -> set[int]:
-    """The set of input *nodes* the edge structurally depends on."""
-    return {node for node in aig.cone([edge]) if aig.is_input(node)}
+    """The set of input *nodes* the edge structurally depends on.
+
+    Rides the levelized plan cache: repeated support queries for the
+    same cone (netlist validation, solver-pool construction) skip the
+    cone walk entirely.
+    """
+    from repro.aig.simulate import cone_plan
+
+    return {node for _, node in cone_plan(aig, (edge,)).inputs}
 
 
 def support_many(aig: Aig, edges: Sequence[int]) -> set[int]:
-    return {node for node in aig.cone(edges) if aig.is_input(node)}
+    from repro.aig.simulate import cone_plan
+
+    return {node for _, node in cone_plan(aig, edges).inputs}
 
 
 def cofactor(aig: Aig, edge: int, var_node: int, value: bool,

@@ -3,8 +3,19 @@
 Simulation drives the sweeping engines: random patterns partition nodes into
 candidate-equivalence classes, and every SAT counterexample is fed back as
 one more pattern ("any SAT solver solution thus potentially rules-out
-several non matching couples").  Vectors are numpy ``uint64`` arrays, so one
-word simulates 64 patterns at once.
+several non matching couples").  The public interface speaks numpy
+``uint64`` arrays (one word simulates 64 patterns at once), but the kernel
+itself runs on a *levelized cone plan*: one topological pass over flat
+integer arrays, with each node's 64-way lanes packed into a single Python
+integer (``words * 64`` bits wide).  A packed-int AND/XOR is one arbitrary-
+precision machine op, so the per-node cost is a few interpreter ops instead
+of a numpy ufunc dispatch, and there are no per-node dict lookups.
+
+Plans are cached on the :class:`~repro.aig.graph.Aig` instance keyed by the
+target node set.  The manager is append-only, so a plan — the cone's
+topological order compiled to positional fanin/negation columns — stays
+valid forever; repeated simulations of the same targets (PDR's ternary
+generalization, FRAIG resimulation) skip the cone walk entirely.
 """
 
 from __future__ import annotations
@@ -16,7 +27,96 @@ import numpy as np
 from repro.aig.graph import Aig
 from repro.errors import AigError
 
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+# Plans are tiny (five int tuples per AND) but target sets are open-ended —
+# FRAIG asks for one fresh node at a time — so the per-manager plan cache is
+# bounded with the same wholesale-amnesia discipline as the BDD caches.
+_MAX_PLANS = 256
+
+
+class ConePlan:
+    """A levelized, position-indexed evaluation plan for one target set.
+
+    ``ops`` holds one ``(dst, src0, neg0, src1, neg1)`` tuple per AND node
+    in topological order; ``inputs`` holds ``(pos, node)`` for the cone's
+    inputs; ``pos`` maps node ids to value-array positions (position 0 is
+    the constant-FALSE node) and ``nodes`` is the inverse column.
+    Positions index a flat value list, so an evaluator is one loop with
+    no dict access.
+    """
+
+    __slots__ = ("size", "inputs", "ops", "pos", "nodes")
+
+    def __init__(self, aig: Aig, nodes: tuple[int, ...]) -> None:
+        pos: dict[int, int] = {0: 0}
+        node_ids: list[int] = [0]
+        inputs: list[tuple[int, int]] = []
+        ops: list[tuple[int, int, int, int, int]] = []
+        for node in aig.cone([2 * n for n in nodes]):
+            index = len(pos)
+            pos[node] = index
+            node_ids.append(node)
+            if aig.is_input(node):
+                inputs.append((index, node))
+            else:
+                f0, f1 = aig.fanins(node)
+                ops.append(
+                    (index, pos[f0 >> 1], f0 & 1, pos[f1 >> 1], f1 & 1)
+                )
+        self.size = len(pos)
+        self.inputs = inputs
+        self.ops = ops
+        self.pos = pos
+        self.nodes = node_ids
+
+
+def cone_plan(aig: Aig, edges: Sequence[int]) -> ConePlan:
+    """The (cached) levelized plan for the cone of ``edges``."""
+    key = tuple(sorted({edge >> 1 for edge in edges}))
+    plans = aig.__dict__.get("_sim_plans")
+    if plans is None:
+        plans = aig.__dict__["_sim_plans"] = {}
+    plan = plans.get(key)
+    if plan is None:
+        if len(plans) >= _MAX_PLANS:
+            plans.clear()
+        plan = ConePlan(aig, key)
+        plans[key] = plan
+    return plan
+
+
+def _pack(vector: np.ndarray | Sequence[int]) -> int:
+    """A uint64 vector packed into one little-endian Python integer."""
+    return int.from_bytes(
+        np.ascontiguousarray(np.asarray(vector, dtype="<u8")).tobytes(),
+        "little",
+    )
+
+
+def _unpack(value: int, words: int) -> np.ndarray:
+    """A packed integer back to a fresh, writable uint64 vector."""
+    return np.frombuffer(
+        bytearray(value.to_bytes(words * 8, "little")), dtype="<u8"
+    ).view(np.uint64)
+
+
+def _eval_plan(
+    plan: ConePlan,
+    input_ints: Mapping[int, int],
+    mask: int,
+) -> list[int]:
+    """One topological pass; returns the flat per-position value list."""
+    values = [0] * plan.size
+    for index, node in plan.inputs:
+        values[index] = input_ints.get(node, 0)
+    for dst, src0, neg0, src1, neg1 in plan.ops:
+        a = values[src0]
+        if neg0:
+            a ^= mask
+        b = values[src1]
+        if neg1:
+            b ^= mask
+        values[dst] = a & b
+    return values
 
 
 def simulate(
@@ -38,28 +138,19 @@ def simulate(
             raise AigError("input vectors must all have the same length")
     if words is None:
         words = 1
-    zeros = np.zeros(words, dtype=np.uint64)
-    node_values: dict[int, np.ndarray] = {0: zeros}
-    for node in aig.cone(targets):
-        if aig.is_input(node):
-            node_values[node] = np.asarray(
-                input_vectors.get(node, zeros), dtype=np.uint64
-            )
-        else:
-            f0, f1 = aig.fanins(node)
-            v0 = node_values[f0 >> 1]
-            if f0 & 1:
-                v0 = ~v0
-            v1 = node_values[f1 >> 1]
-            if f1 & 1:
-                v1 = ~v1
-            node_values[node] = v0 & v1
+    plan = cone_plan(aig, targets)
+    mask = (1 << (words * 64)) - 1
+    input_ints = {
+        node: _pack(vector) for node, vector in input_vectors.items()
+    }
+    values = _eval_plan(plan, input_ints, mask)
+    pos = plan.pos
     result: dict[int, np.ndarray] = {}
     for edge in targets:
-        value = node_values.get(edge >> 1)
-        if value is None:  # target collapses to a constant edge
-            value = zeros
-        result[edge] = ~value if edge & 1 else value.copy()
+        value = values[pos.get(edge >> 1, 0)]
+        if edge & 1:
+            value ^= mask
+        result[edge] = _unpack(value, words)
     return result
 
 
@@ -73,23 +164,16 @@ def simulate_nodes(
     The sweeping engines need per-node signatures, not just root values.
     """
     words = max((len(v) for v in input_vectors.values()), default=1)
-    zeros = np.zeros(words, dtype=np.uint64)
-    node_values: dict[int, np.ndarray] = {0: zeros}
-    for node in aig.cone(targets):
-        if aig.is_input(node):
-            node_values[node] = np.asarray(
-                input_vectors.get(node, zeros), dtype=np.uint64
-            )
-        else:
-            f0, f1 = aig.fanins(node)
-            v0 = node_values[f0 >> 1]
-            if f0 & 1:
-                v0 = ~v0
-            v1 = node_values[f1 >> 1]
-            if f1 & 1:
-                v1 = ~v1
-            node_values[node] = v0 & v1
-    return node_values
+    plan = cone_plan(aig, targets)
+    mask = (1 << (words * 64)) - 1
+    input_ints = {
+        node: _pack(vector) for node, vector in input_vectors.items()
+    }
+    values = _eval_plan(plan, input_ints, mask)
+    return {
+        node: _unpack(values[index], words)
+        for node, index in plan.pos.items()
+    }
 
 
 def random_input_vectors(
@@ -105,12 +189,14 @@ def random_input_vectors(
 
 def eval_edge(aig: Aig, edge: int, assignment: Mapping[int, bool]) -> bool:
     """Evaluate one edge under a Boolean input assignment (by node id)."""
-    vectors = {
-        node: np.array([_ALL_ONES if value else 0], dtype=np.uint64)
-        for node, value in assignment.items()
-    }
-    result = simulate(aig, vectors, [edge])[edge]
-    return bool(result[0] & np.uint64(1))
+    plan = cone_plan(aig, (edge,))
+    values = [0] * plan.size
+    for index, node in plan.inputs:
+        if assignment.get(node, False):
+            values[index] = 1
+    for dst, src0, neg0, src1, neg1 in plan.ops:
+        values[dst] = (values[src0] ^ neg0) & (values[src1] ^ neg1)
+    return bool((values[plan.pos.get(edge >> 1, 0)] ^ edge) & 1)
 
 
 def truth_table(aig: Aig, edge: int, input_order: Sequence[int]) -> int:
@@ -123,16 +209,21 @@ def truth_table(aig: Aig, edge: int, input_order: Sequence[int]) -> int:
     if n > 16:
         raise AigError("truth_table supports at most 16 inputs")
     rows = 1 << n
-    words = (rows + 63) // 64
-    vectors: dict[int, np.ndarray] = {}
+    plan = cone_plan(aig, (edge,))
+    mask = (1 << rows) - 1
+    # Input k's column is the standard block pattern 0101.., 0011.., ...
+    # built directly as packed integers.
+    input_ints: dict[int, int] = {}
     for k, node in enumerate(input_order):
-        pattern = np.zeros(words, dtype=np.uint64)
-        for row in range(rows):
-            if (row >> k) & 1:
-                pattern[row // 64] |= np.uint64(1) << np.uint64(row % 64)
-        vectors[node] = pattern
-    out = simulate(aig, vectors, [edge])[edge]
-    mask = 0
-    for w in range(words):
-        mask |= int(out[w]) << (64 * w)
-    return mask & ((1 << rows) - 1)
+        block = 1 << k
+        pattern = ((1 << block) - 1) << block
+        period = block * 2
+        full = 0
+        for shift in range(0, rows, period):
+            full |= pattern << shift
+        input_ints[node] = full & mask
+    values = _eval_plan(plan, input_ints, mask)
+    value = values[plan.pos.get(edge >> 1, 0)]
+    if edge & 1:
+        value ^= mask
+    return value

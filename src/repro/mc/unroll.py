@@ -9,6 +9,7 @@ shallow ones.
 from __future__ import annotations
 
 from repro.aig.graph import Aig
+from repro.aig.simulate import cone_plan
 from repro.circuits.netlist import Netlist
 from repro.errors import ModelCheckingError
 from repro.sat.solver import Solver
@@ -129,13 +130,19 @@ class Unroller:
             raise ModelCheckingError(
                 f"node {node} is not part of this netlist's interface"
             )
-        for cone_node in self.aig.cone([2 * node]):
-            if cone_node in frame:
-                continue
-            if self.aig.is_input(cone_node):
+        # The cached cone plan replays the same topological order as a
+        # fresh Aig.cone walk, so clause emission order (and therefore
+        # the solver trajectory) is unchanged — only the walk is saved.
+        plan = cone_plan(self.aig, (2 * node,))
+        for _, cone_node in plan.inputs:
+            if cone_node not in frame:
                 raise ModelCheckingError(
                     f"input node {cone_node} missing from frame"
                 )
+        for dst, src0, neg0, src1, neg1 in plan.ops:
+            cone_node = plan.nodes[dst]
+            if cone_node in frame:
+                continue
             f0, f1 = self.aig.fanins(cone_node)
             a = self._frame_edge_lit(frame, f0)
             b = self._frame_edge_lit(frame, f1)

@@ -28,15 +28,16 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.aig.graph import Aig
-from repro.aig.simulate import simulate
+from repro.aig.simulate import _eval_plan, cone_plan
 from repro.circuits.netlist import Netlist
 from repro.pdr.frames import cube_excludes_init, state_to_cube
 from repro.util.stats import StatsBag
 
 Targets = Sequence[tuple[int, bool]]
+
+# Flat three-valued encoding used by the ternary walk below.
+_F, _T, _X = 0, 1, 2
 
 
 def _ternary_eval(
@@ -45,31 +46,39 @@ def _ternary_eval(
     targets: Targets,
 ) -> bool:
     """True iff every target edge evaluates to its required value in
-    three-valued logic (``None`` = X) under the assignment."""
-    edges = [edge for edge, _ in targets]
-    values: dict[int, bool | None] = {0: False}
-    for node in aig.cone(edges):
-        if aig.is_input(node):
-            values[node] = assignment.get(node, False)
-            continue
-        f0, f1 = aig.fanins(node)
-        a = values[f0 >> 1]
-        if a is not None and f0 & 1:
-            a = not a
-        b = values[f1 >> 1]
-        if b is not None and f1 & 1:
-            b = not b
-        if a is False or b is False:
-            values[node] = False
-        elif a is None or b is None:
-            values[node] = None
+    three-valued logic (``None`` = X) under the assignment.
+
+    Runs on the cached levelized cone plan: one pass over flat int
+    arrays (0/1/2 = False/True/X), no cone recomputation and no dict
+    lookups per node.  This is PDR's per-candidate inner loop.
+    """
+    plan = cone_plan(aig, [edge for edge, _ in targets])
+    values = [_F] * plan.size
+    for index, node in plan.inputs:
+        value = assignment.get(node, False)
+        if value is None:
+            values[index] = _X
+        elif value:
+            values[index] = _T
+    for dst, src0, neg0, src1, neg1 in plan.ops:
+        a = values[src0]
+        if neg0 and a != _X:
+            a ^= 1
+        b = values[src1]
+        if neg1 and b != _X:
+            b ^= 1
+        if a == _F or b == _F:
+            values[dst] = _F
+        elif a == _X or b == _X:
+            values[dst] = _X
         else:
-            values[node] = True
+            values[dst] = _T
+    pos = plan.pos
     for edge, required in targets:
-        value = values.get(edge >> 1, False)
-        if value is not None and edge & 1:
-            value = not value
-        if value is not required:
+        value = values[pos.get(edge >> 1, 0)]
+        if value != _X and edge & 1:
+            value ^= 1
+        if value == _X or (value == _T) is not required:
             return False
     return True
 
@@ -83,34 +92,31 @@ def _flip_candidates(
     """Latches whose single flip leaves every target at its required
     value — the only possible ternary drops, found with one bit-parallel
     simulation (pattern 0 is the base assignment, pattern k flips the
-    k-th latch)."""
+    k-th latch).  Lanes are packed integers straight into the plan
+    evaluator — no numpy round-trip."""
     latch_nodes = netlist.latch_nodes
     patterns = len(latch_nodes) + 1
-    words = (patterns + 63) // 64
-    vectors: dict[int, np.ndarray] = {}
+    mask = (1 << patterns) - 1
+    plan = cone_plan(netlist.aig, [edge for edge, _ in targets])
+    input_ints: dict[int, int] = {}
     for node, value in inputs.items():
-        vectors[node] = np.full(
-            words, 0xFFFFFFFFFFFFFFFF if value else 0, dtype=np.uint64
-        )
+        input_ints[node] = mask if value else 0
     for k, node in enumerate(latch_nodes):
-        base = np.full(
-            words, 0xFFFFFFFFFFFFFFFF if state[node] else 0,
-            dtype=np.uint64,
-        )
-        flip_at = k + 1
-        base[flip_at // 64] ^= np.uint64(1) << np.uint64(flip_at % 64)
-        vectors[node] = base
-    outputs = simulate(netlist.aig, vectors, [edge for edge, _ in targets])
-    ok = ~np.zeros(words, dtype=np.uint64)
+        base = mask if state[node] else 0
+        input_ints[node] = base ^ (1 << (k + 1))
+    values = _eval_plan(plan, input_ints, mask)
+    pos = plan.pos
+    ok = mask
     for edge, required in targets:
-        vector = outputs[edge]
-        ok &= vector if required else ~vector
-    candidates = []
-    for k, node in enumerate(latch_nodes):
-        flip_at = k + 1
-        if int(ok[flip_at // 64]) >> (flip_at % 64) & 1:
-            candidates.append(node)
-    return candidates
+        vector = values[pos.get(edge >> 1, 0)]
+        if edge & 1:
+            vector ^= mask
+        ok &= vector if required else vector ^ mask
+    return [
+        node
+        for k, node in enumerate(latch_nodes)
+        if (ok >> (k + 1)) & 1
+    ]
 
 
 def expand_cube(

@@ -19,6 +19,18 @@ decision heuristic with an indexed max-heap, phase saving, first-UIP conflict
 analysis with clause minimization, Luby restarts and LBD-guided learned
 clause database reduction.
 
+Memory layout is flat-array, not object-per-clause: the whole clause
+database lives in one integer *arena* (``_arena``) addressed by per-clause
+``(_cbase, _csize)`` offset/length columns, watch lists are per-literal
+integer vectors of clause indices compacted in place during propagation,
+and the trail/reason/level/value columns are flat integer
+buffers indexed by variable.  A deleted clause is ``_csize == 0``; its
+arena slots are reclaimed wholesale when deletions pass a garbage
+threshold (clause indices are stable — only base offsets move).  The
+layout keeps the CPython hot loop free of per-visit allocations (no
+rebuilt watch lists, no clause objects) and is the shape an optional
+compiled backend can consume without any engine-visible change.
+
 Phase saving is explicit and controllable: ``Solver(phase_saving=False)``
 freezes branching polarities at their defaults (or whatever
 :meth:`Solver.set_polarity` pinned), instead of re-using the polarity of
@@ -241,11 +253,18 @@ class Solver:
         self._activity: list[float] = []
         self._polarity: list[int] = []    # saved phase, 1 = assign true
         self._order = _VarOrder(self._activity)
-        # Clause arena.  A deleted clause slot holds None.
-        self._clauses: list[list[int] | None] = []
+        # Clause arena: one flat literal buffer, offset/length per clause.
+        # A deleted clause has _csize == 0 (its arena slots are garbage
+        # until _compact_arena reclaims them).
+        self._arena: list[int] = []
+        self._cbase: list[int] = []
+        self._csize: list[int] = []
+        self._arena_garbage = 0
         self._learnt_flags: list[bool] = []
         self._lbd: list[int] = []
         self._learnt_ids: list[int] = []
+        # Per-literal watch vectors: flat clause-index lists, compacted in
+        # place during propagation.
         self._watches: list[list[int]] = []
         # Trail.
         self._trail: list[int] = []
@@ -316,24 +335,40 @@ class Solver:
             raise SatError("clauses may only be added at decision level 0")
         if not self._ok:
             return False
+        # Single pass: DIMACS -> internal encoding, dedup, max-var, all
+        # inline (this is the clause-loading hot path of the unrollers).
+        internal_set: set[int] = set()
+        max_var = 0
         for lit in lits:
-            self._ensure_var(abs(lit))
-        internal = sorted({_to_internal(lit) for lit in lits})
+            if lit > 0:
+                if lit > max_var:
+                    max_var = lit
+                internal_set.add(lit + lit - 2)
+            elif lit < 0:
+                if -lit > max_var:
+                    max_var = -lit
+                internal_set.add(-lit - lit - 1)
+            else:
+                raise SatError("literal 0 is not a valid DIMACS literal")
+        if max_var > self._nvars:
+            self._ensure_var(max_var)
+        internal = sorted(internal_set)
         # Tautology and level-0 simplification.
         simplified: list[int] = []
         removed: list[int] = []   # literals false at level 0
         satisfied = False
         previous = -1
+        values = self._values
         for lit in internal:
             if lit == previous ^ 1 and previous != -1:
                 return True  # contains x and ~x: no proof obligation either
-            value = self._lit_value(lit)
-            if value == 1:
-                satisfied = True
-            elif value == 0:
-                removed.append(lit)
-            else:
+            value = values[lit >> 1]
+            if value == 2:
                 simplified.append(lit)
+            elif value ^ (lit & 1) == 1:
+                satisfied = True
+            else:
+                removed.append(lit)
             previous = lit
         proof_id = -1
         if self._proof is not None:
@@ -410,8 +445,11 @@ class Solver:
     def _attach_clause(
         self, lits: list[int], learnt: bool, lbd: int, proof_id: int = -1
     ) -> int:
-        index = len(self._clauses)
-        self._clauses.append(lits)
+        index = len(self._cbase)
+        arena = self._arena
+        self._cbase.append(len(arena))
+        self._csize.append(len(lits))
+        arena.extend(lits)
         self._learnt_flags.append(learnt)
         self._lbd.append(lbd)
         self._watches[lits[0]].append(index)
@@ -422,6 +460,11 @@ class Solver:
         if self._proof is not None:
             self._proof_clause_ids.append(proof_id)
         return index
+
+    def _clause_lits(self, ci: int) -> list[int]:
+        """The live literals of clause ``ci`` (an arena slice)."""
+        base = self._cbase[ci]
+        return self._arena[base:base + self._csize[ci]]
 
     # ------------------------------------------------------------------ #
     # Assignment primitives
@@ -467,58 +510,92 @@ class Solver:
     # ------------------------------------------------------------------ #
 
     def _propagate(self) -> int:
-        """Unit propagation.  Returns a conflicting clause index or -1."""
-        # Hot loop: local aliases avoid repeated attribute lookups.
-        clauses = self._clauses
+        """Unit propagation.  Returns a conflicting clause index or -1.
+
+        The hot loop of the solver.  Everything it touches is a flat int
+        buffer aliased to a local: the clause arena, the per-literal watch
+        vectors (compacted in place with a write pointer — no list is ever
+        rebuilt or reallocated), the value/level/reason columns and the
+        trail.  Binary clauses resolve without a replacement scan, and the
+        implied-literal enqueue is inlined.  Clause visit order, literal
+        reordering inside the arena and watch-list movement are exactly
+        the reference two-watched-literal scheme, so search trajectories
+        are reproducible run to run.
+        """
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
         watches = self._watches
         values = self._values
+        levels = self._levels
+        reasons = self._reasons
         trail = self._trail
+        level = len(self._trail_lim)
+        qhead = self._qhead
+        propagated = 0
         # Proof mode: implications at decision level 0 are permanent facts
         # whose derivations later chains resolve against, so each gets its
         # own proof node.  One dead branch per implication when disabled.
-        log_units = self._proof is not None and not self._trail_lim
-        while self._qhead < len(trail):
-            p = trail[self._qhead]
-            self._qhead += 1
-            self.propagations += 1
+        log_units = self._proof is not None and level == 0
+        while qhead < len(trail):
+            p = trail[qhead]
+            qhead += 1
+            propagated += 1
             false_lit = p ^ 1
             watch_list = watches[false_lit]
-            kept: list[int] = []
-            i = 0
+            i = j = 0
             n = len(watch_list)
             while i < n:
                 ci = watch_list[i]
                 i += 1
-                clause = clauses[ci]
-                if clause is None:
+                size = csize[ci]
+                if size == 0:
                     continue  # lazily drop watches of deleted clauses
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
+                base = cbase[ci]
+                first = arena[base]
+                if first == false_lit:
+                    first = arena[base + 1]
+                    arena[base] = first
+                    arena[base + 1] = false_lit
                 fv = values[first >> 1]
-                if fv != _UNASSIGNED and fv ^ (first & 1) == 1:
-                    kept.append(ci)
+                if fv != 2 and fv ^ (first & 1) == 1:
+                    watch_list[j] = ci
+                    j += 1
                     continue
-                moved = False
-                for k in range(2, len(clause)):
-                    lit = clause[k]
-                    lv = values[lit >> 1]
-                    if lv == _UNASSIGNED or lv ^ (lit & 1) == 1:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        watches[lit].append(ci)
-                        moved = True
-                        break
-                if moved:
-                    continue
-                kept.append(ci)
-                if fv != _UNASSIGNED:  # first is false: conflict
-                    kept.extend(watch_list[i:])
-                    watches[false_lit] = kept
+                if size > 2:
+                    moved = False
+                    for k in range(base + 2, base + size):
+                        lit = arena[k]
+                        lv = values[lit >> 1]
+                        if lv == 2 or lv ^ (lit & 1) == 1:
+                            arena[base + 1] = lit
+                            arena[k] = false_lit
+                            watches[lit].append(ci)
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                watch_list[j] = ci
+                j += 1
+                if fv != 2:  # first is false: conflict
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        i += 1
+                        j += 1
+                    del watch_list[j:]
+                    self._qhead = qhead
+                    self.propagations += propagated
                     return ci
                 if log_units:
                     self._log_level0_unit(first, ci)
-                self._enqueue(first, ci)
-            watches[false_lit] = kept
+                var = first >> 1
+                values[var] = 1 ^ (first & 1)
+                levels[var] = level
+                reasons[var] = ci
+                trail.append(first)
+            del watch_list[j:]
+        self._qhead = qhead
+        self.propagations += propagated
         return -1
 
     # ------------------------------------------------------------------ #
@@ -532,7 +609,9 @@ class Solver:
         level-0-false) literal it contains, leaving the unit ``(lit)``.
         """
         chain = [self._proof_clause_ids[ci]]
-        for other in self._clauses[ci]:
+        base = self._cbase[ci]
+        for k in range(base, base + self._csize[ci]):
+            other = self._arena[k]
             if other != lit:
                 chain.append(self._proof_units[other ^ 1])
         self._proof_units[lit] = self._proof.append(
@@ -542,8 +621,9 @@ class Solver:
     def _log_level0_conflict(self, ci: int) -> None:
         """Record the empty clause from a conflict at decision level 0."""
         chain = [self._proof_clause_ids[ci]]
-        for lit in self._clauses[ci]:
-            chain.append(self._proof_units[lit ^ 1])
+        base = self._cbase[ci]
+        for k in range(base, base + self._csize[ci]):
+            chain.append(self._proof_units[self._arena[k] ^ 1])
         root = self._proof.append((), tuple(chain))
         self._proof.root = root
         self._proof.final = root
@@ -564,11 +644,16 @@ class Solver:
         end each is enough.
         """
         levels = self._levels
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
         clause_ids = self._proof_clause_ids
         chain = [clause_ids[ci] for ci in chain_cis]
         zero: set[int] = set()
         for ci in chain_cis:
-            for lit in self._clauses[ci]:
+            base = cbase[ci]
+            for k in range(base, base + csize[ci]):
+                lit = arena[k]
                 if levels[lit >> 1] == 0:
                     zero.add(lit)
         if removed:
@@ -579,7 +664,9 @@ class Solver:
             for lit in removed:
                 ci = self._reasons[lit >> 1]
                 chain.append(clause_ids[ci])
-                for other in self._clauses[ci]:
+                base = cbase[ci]
+                for k in range(base, base + csize[ci]):
+                    other = arena[k]
                     if levels[other >> 1] == 0:
                         zero.add(other)
         for lit in sorted(zero):
@@ -620,18 +707,22 @@ class Solver:
         """
         levels = self._levels
         reasons = self._reasons
+        arena = self._arena
+        cbase = self._cbase
+        csize = self._csize
         seen = bytearray(self._nvars)
         learnt: list[int] = [0]
         current_level = self._decision_level()
         counter = 0
         p = -1
         index = len(self._trail) - 1
-        clause = self._clauses[conflict]
-        assert clause is not None
+        ci = conflict
         proof = self._proof
         chain_cis = [conflict] if proof is not None else None
         while True:
-            for q in clause:
+            base = cbase[ci]
+            for k in range(base, base + csize[ci]):
+                q = arena[k]
                 if q == p:
                     continue
                 var = q >> 1
@@ -652,11 +743,9 @@ class Solver:
             counter -= 1
             if counter == 0:
                 break
-            reason = reasons[pvar]
-            clause = self._clauses[reason]
-            assert clause is not None
+            ci = reasons[pvar]
             if chain_cis is not None:
-                chain_cis.append(reason)
+                chain_cis.append(ci)
         learnt[0] = p ^ 1
         # Cheap clause minimization: drop literals whose reason is subsumed
         # by the rest of the learnt clause.
@@ -669,13 +758,15 @@ class Solver:
             if reason == -1:
                 minimized.append(q)
                 continue
-            reason_clause = self._clauses[reason]
-            assert reason_clause is not None
-            if all(seen[r >> 1] or levels[r >> 1] == 0
-                   for r in reason_clause if r != q ^ 1):
+            not_q = q ^ 1
+            base = cbase[reason]
+            for k in range(base, base + csize[reason]):
+                r = arena[k]
+                if r != not_q and not seen[r >> 1] and levels[r >> 1] != 0:
+                    minimized.append(q)
+                    break
+            else:
                 removed.append(q)
-                continue
-            minimized.append(q)
         learnt = minimized
         if proof is not None:
             # Trail and reasons are still intact here (the caller only
@@ -720,11 +811,11 @@ class Solver:
                 if reason == -1:
                     out.add(lit)
                 else:
-                    clause = self._clauses[reason]
-                    assert clause is not None
                     if proof is not None:
                         chain.append(self._proof_clause_ids[reason])
-                    for q in clause:
+                    base = self._cbase[reason]
+                    for k in range(base, base + self._csize[reason]):
+                        q = self._arena[k]
                         if self._levels[q >> 1] > 0:
                             seen[q >> 1] = 1
                         elif proof is not None:
@@ -754,26 +845,49 @@ class Solver:
     # ------------------------------------------------------------------ #
 
     def _locked(self, ci: int) -> bool:
-        clause = self._clauses[ci]
-        if clause is None:
+        if self._csize[ci] == 0:
             return False
-        first = clause[0]
+        first = self._arena[self._cbase[ci]]
         return (self._lit_value(first) == 1
                 and self._reasons[first >> 1] == ci)
 
     def _reduce_db(self) -> None:
         """Remove roughly half of the learned clauses, worst LBD first."""
         self.db_reductions += 1
-        live = [ci for ci in self._learnt_ids if self._clauses[ci] is not None]
-        clause_len = self._clauses
-        live.sort(key=lambda ci: (self._lbd[ci], len(clause_len[ci] or ())))
+        csize = self._csize
+        lbd = self._lbd
+        live = [ci for ci in self._learnt_ids if csize[ci]]
+        live.sort(key=lambda ci: (lbd[ci], csize[ci]))
         keep_count = len(live) // 2
         for ci in live[keep_count:]:
-            if self._locked(ci) or self._lbd[ci] <= 2:
+            if self._locked(ci) or lbd[ci] <= 2:
                 continue
-            self._clauses[ci] = None
-        self._learnt_ids = [ci for ci in live
-                            if self._clauses[ci] is not None]
+            self._arena_garbage += csize[ci]
+            csize[ci] = 0
+        self._learnt_ids = [ci for ci in live if csize[ci]]
+        if self._arena_garbage * 2 > len(self._arena):
+            self._compact_arena()
+
+    def _compact_arena(self) -> None:
+        """Reclaim the arena slots of deleted clauses.
+
+        Clause indices are stable (watch lists keep referring to the same
+        ``ci``); only base offsets move, so nothing outside the arena and
+        the offset column is touched.  Stale watches of deleted clauses
+        keep being dropped lazily by propagation (``_csize == 0``).
+        """
+        old = self._arena
+        cbase = self._cbase
+        csize = self._csize
+        fresh: list[int] = []
+        for ci in range(len(cbase)):
+            size = csize[ci]
+            if size:
+                base = cbase[ci]
+                cbase[ci] = len(fresh)
+                fresh.extend(old[base:base + size])
+        self._arena = fresh
+        self._arena_garbage = 0
 
     # ------------------------------------------------------------------ #
     # Search
@@ -826,7 +940,7 @@ class Solver:
         restart_index = 0
         restart_limit = self._restart_base * _luby(restart_index)
         conflicts_since_restart = 0
-        max_learnts = max(1000, len(self._clauses) // 3)
+        max_learnts = max(1000, len(self._csize) // 3)
         result = SolveResult.UNKNOWN
         while True:
             conflict = self._propagate()
@@ -958,6 +1072,6 @@ class Solver:
             "learned_clauses": self.learned_clauses,
             "db_reductions": self.db_reductions,
             "solve_calls": self.solve_calls,
-            "clauses": sum(1 for c in self._clauses if c is not None),
+            "clauses": sum(1 for size in self._csize if size),
             "vars": self._nvars,
         }

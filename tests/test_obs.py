@@ -211,6 +211,35 @@ class TestEnableDisable:
         assert probes.ENABLED is False
 
 
+class TestBddTickDirectReads:
+    """``bdd_tick`` reads the manager's scalar counters and cache lens
+    directly (no summary dict per tick); its samples must stay
+    numerically identical to what :meth:`cache_summary` reports."""
+
+    def test_bdd_tick_matches_cache_summary(self):
+        from repro.bdd.manager import BddManager
+
+        manager = BddManager()
+        a, b, c = (manager.new_var() for _ in range(3))
+        f = manager.and_(a, manager.or_(b, manager.not_(c)))
+        manager.and_(a, manager.or_(b, manager.not_(c)))  # cache hits
+        manager.exists(f, [1])
+
+        tracer = Tracer(tick=0.0)
+        probes.activate(tracer)
+        try:
+            probes.bdd_tick(manager)
+        finally:
+            probes.deactivate()
+
+        sampled = {rec.name: rec.value for rec in tracer.counters}
+        summary = manager.cache_summary()
+        assert sampled["bdd.nodes"] == manager.num_nodes
+        assert sampled["bdd.cache_hit_rate"] == summary["cache_hit_rate"]
+        assert sampled["bdd.cache_entries"] == summary["cache_entries"]
+        assert summary["cache_hits"] > 0
+
+
 class TestZeroCostDisabled:
     """With tracing off, runs must be stats-identical to the seed
     behaviour — the probes only *read* kernel counters, so enabling them
