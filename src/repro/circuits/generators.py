@@ -19,6 +19,7 @@ bug_at_depth      --                         fails exactly at depth d
 johnson_counter   at most one 01 boundary    adjacent bits never differ
 up_down_counter   saturation prevents wrap   wraps without the guard
 one_hot_fsm       exactly one state bit      glitch sets a second bit
+multiplier_miter  array == Wallace product   one partial product dropped
 ================  =========================  ===========================
 
 These are the stand-ins for the paper's unnamed "hard-to-verify circuits":
@@ -481,6 +482,121 @@ def one_hot_fsm(num_states: int, safe: bool = True) -> Netlist:
     return n
 
 
+def _full_adder(aig, a: int, b: int, c: int) -> tuple[int, int]:
+    """(sum, carry) of three bits: XOR chain and majority."""
+    s = xor(aig, xor(aig, a, b), c)
+    carry = or_(
+        aig,
+        aig.and_(a, b),
+        or_(aig, aig.and_(a, c), aig.and_(b, c)),
+    )
+    return s, carry
+
+
+def _ripple_add(aig, xs: list[int], ys: list[int]) -> list[int]:
+    """Same-width ripple-carry sum (the final carry is dropped)."""
+    carry = 0  # FALSE
+    out = []
+    for a, b in zip(xs, ys):
+        s, carry = _full_adder(aig, a, b, carry)
+        out.append(s)
+    return out
+
+
+def _partial_products(aig, xs: list[int], ys: list[int]) -> list[list[int]]:
+    """``pp[i][j] = xs[i] AND ys[j]``."""
+    return [[aig.and_(a, b) for b in ys] for a in xs]
+
+
+def _array_multiplier(aig, xs: list[int], ys: list[int]) -> list[int]:
+    """Row-by-row array multiplier: accumulate shifted rows by ripple add."""
+    width = len(xs)
+    total = 2 * width
+    pp = _partial_products(aig, xs, ys)
+    acc = [0] * total  # FALSE
+    for i in range(width):
+        row = [0] * total
+        for j in range(width):
+            row[i + j] = pp[i][j]
+        acc = _ripple_add(aig, acc, row)
+    return acc
+
+
+def _wallace_multiplier(
+    aig, xs: list[int], ys: list[int], drop: tuple[int, int] | None = None
+) -> list[int]:
+    """Column-wise Wallace-style reduction: 3:2 and 2:2 compressors
+    until every column holds at most two bits, then one ripple add.
+
+    ``drop`` names a partial product (i, j) to omit — the planted bug of
+    the miter families (the products then differ exactly when
+    ``xs[i] AND ys[j]``).
+    """
+    width = len(xs)
+    total = 2 * width
+    columns: list[list[int]] = [[] for _ in range(total)]
+    for i in range(width):
+        for j in range(width):
+            if drop is not None and (i, j) == drop:
+                continue
+            columns[i + j].append(aig.and_(xs[i], ys[j]))
+    while any(len(column) > 2 for column in columns):
+        reduced: list[list[int]] = [[] for _ in range(total + 1)]
+        for c, column in enumerate(columns):
+            index = 0
+            while len(column) - index >= 3:
+                s, carry = _full_adder(
+                    aig, column[index], column[index + 1], column[index + 2]
+                )
+                reduced[c].append(s)
+                reduced[c + 1].append(carry)
+                index += 3
+            if len(column) - index == 2:
+                s = xor(aig, column[index], column[index + 1])
+                carry = aig.and_(column[index], column[index + 1])
+                reduced[c].append(s)
+                reduced[c + 1].append(carry)
+            else:
+                reduced[c].extend(column[index:])
+        columns = [reduced[c] for c in range(total)]
+    row_a = [column[0] if column else 0 for column in columns]
+    row_b = [column[1] if len(column) > 1 else 0 for column in columns]
+    return _ripple_add(aig, row_a, row_b)
+
+
+def multiplier_miter(width: int, safe: bool = True) -> Netlist:
+    """Equivalence miter of an array and a Wallace-style multiplier.
+
+    Purely combinational, ``2 * width`` shared input bits, property
+    "every product bit pair agrees".  The two reduction orders share no
+    internal structure beyond the partial products, so the miter is the
+    classic hard-for-one-core SAT family the cube-and-conquer engine is
+    benchmarked on.  The buggy variant drops the top partial product of
+    the Wallace side: the property fails exactly when the two operand
+    MSBs are both 1 (a quarter of the input space).
+    """
+    if width < 2:
+        raise NetlistError("multiplier miter needs width >= 2")
+    name = f"mul_miter_{width}" + ("" if safe else "_buggy")
+    n = Netlist(name)
+    aig = n.aig
+    xs = n.add_inputs(width, prefix="a")
+    ys = n.add_inputs(width, prefix="b")
+    product_a = _array_multiplier(aig, xs, ys)
+    drop = None if safe else (width - 1, width - 1)
+    product_b = _wallace_multiplier(aig, xs, ys, drop=drop)
+    for k, bit in enumerate(product_a):
+        n.set_output(f"p{k}", bit)
+    n.set_property(
+        and_all(
+            aig,
+            [xnor(aig, a, b) for a, b in zip(product_a, product_b)],
+        )
+    )
+    n.validate()
+    return n
+
+
 FAMILIES = {
     "mod_counter": mod_counter,
     "ring_counter": ring_counter,
@@ -494,4 +610,5 @@ FAMILIES = {
     "johnson_counter": johnson_counter,
     "up_down_counter": up_down_counter,
     "one_hot_fsm": one_hot_fsm,
+    "multiplier_miter": multiplier_miter,
 }

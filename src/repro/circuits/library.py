@@ -14,6 +14,10 @@ generators).  Each loader returns a fresh :class:`Netlist`.
   the reachable state space, checked safe by the engines in the tests).
 * :func:`handshake` — a two-phase req/ack handshake controller with a
   mutual-exclusion invariant (safe) and a broken variant.
+* :func:`mul_miter2` — the 2-bit array-vs-Wallace multiplier miter from
+  :func:`repro.circuits.generators.multiplier_miter`, catalogued here
+  (with its buggy variant) as the fixed combinational equivalence
+  instance next to the sequential classics.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 from repro.aig.graph import edge_not
 from repro.aig.ops import or_
 from repro.circuits.bench_format import parse_bench
+from repro.circuits.generators import multiplier_miter
 from repro.circuits.netlist import Netlist
 
 _C17 = """
@@ -127,6 +132,18 @@ def handshake(safe: bool = True) -> Netlist:
     return netlist
 
 
+def mul_miter2(safe: bool = True) -> Netlist:
+    """The 2-bit multiplier equivalence miter (array vs Wallace).
+
+    A combinational instance: the property asserts both multiplier
+    implementations agree on every product bit.  ``safe=False`` drops
+    one Wallace partial product, so the miter fails on a quarter of the
+    input space — a fixed, fully enumerable equivalence-checking test
+    vehicle for the SAT engines and ``cnc``.
+    """
+    return multiplier_miter(2, safe=safe)
+
+
 def catalogue() -> dict[str, Netlist]:
     """All library circuits by name (fresh instances)."""
     return {
@@ -135,4 +152,6 @@ def catalogue() -> dict[str, Netlist]:
         "s27_with_property": s27_with_property(),
         "handshake": handshake(True),
         "handshake_buggy": handshake(False),
+        "mul_miter2": mul_miter2(True),
+        "mul_miter2_buggy": mul_miter2(False),
     }

@@ -159,6 +159,8 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         extra["image"] = args.image
         if args.schedule is not None:
             extra["schedule"] = args.schedule
+    elif args.method == "cnc" and args.workers is not None:
+        extra["workers"] = args.workers
     elif args.method.startswith("reach_aig") and args.schedule is not None:
         from repro.core.quantify import QuantifyOptions
 
@@ -447,6 +449,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a post-run report (timeline, per-phase breakdown, "
         "peak gauges); with a PATH, write the machine-readable JSON "
         "document there instead",
+    )
+    p_mc.add_argument(
+        "--workers",
+        type=int,
+        help="conquer-pool size for --method cnc (0 solves in-process)",
     )
     p_mc.add_argument(
         "--stats",

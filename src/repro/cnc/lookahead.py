@@ -1,0 +1,250 @@
+"""Lookahead gate scoring for the Cube stage.
+
+Three layers, cheapest first:
+
+1. **Weight heuristic** — rank the AND nodes of the current target cone
+   by fanout-within-the-cone times approximate subtree size (one pass
+   over the cached :class:`~repro.aig.simulate.ConePlan`, no dict
+   access).  High-fanout deep gates are the ones whose assignment
+   constant-folds the most downstream logic.
+2. **SWAR ternary lookahead** — trial-assign the top-K candidates both
+   ways in *one* pass over the plan.  Each trial owns a W-bit lane of a
+   pair of packed Python integers: a ternary value is encoded as two
+   mask bits ``(can0, can1)`` (``X`` = both set), negation swaps the
+   masks, AND is ``(or, and)``, and the per-lane count of gates forced
+   to a definite constant accumulates carry-free in the lane's W-bit
+   counter field (``W`` is sized so the op count cannot overflow it).
+   This is the same packed-integer style as the bit-parallel simulator,
+   so 2K trials cost one interpreted loop instead of 2K.
+3. **Decision** — a trial whose root goes to constant 0 soundly refutes
+   that branch (overriding the gate's wire with the trial value drives
+   the target false for *every* input, so no model can give the gate
+   that value): the opposite value is *forced* and costs no tree depth.
+   Both branches refuted means the whole cube is refuted.  Among the
+   still-open candidates the split gate maximising the balanced
+   reduction ``min(def0, def1)`` wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.aig.graph import Aig
+from repro.aig.simulate import ConePlan, cone_plan
+
+# Tree-size DP saturates here: beyond this the "how much logic hangs off
+# this gate" signal does not improve and the ints stay machine-sized.
+_SIZE_CAP = 1 << 20
+
+
+@dataclass(frozen=True)
+class LookaheadResult:
+    """What the lookahead learned about one cube's target."""
+
+    refuted: bool
+    forced: tuple[tuple[int, bool], ...]
+    gate: int | None
+    score: tuple[int, int]  # definite-gate counts of the (0, 1) branches
+
+    @property
+    def progress(self) -> bool:
+        return self.refuted or bool(self.forced) or self.gate is not None
+
+
+def gate_weights(plan: ConePlan) -> list[tuple[int, int]]:
+    """``(weight, node)`` per AND node of the plan, heaviest first.
+
+    Weight = (1 + fanout within the cone) * approximate subtree size.
+    The subtree size is the tree-size recurrence (shared logic counted
+    per path) — an overcount, but a one-pass proxy for "AND nodes below",
+    which is what the split is trying to collapse.
+    """
+    refs = [0] * plan.size
+    sizes = [0] * plan.size
+    for dst, src0, _n0, src1, _n1 in plan.ops:
+        refs[src0] += 1
+        refs[src1] += 1
+        sizes[dst] = min(1 + sizes[src0] + sizes[src1], _SIZE_CAP)
+    weights = [
+        ((1 + refs[dst]) * sizes[dst], plan.nodes[dst])
+        for dst, _s0, _n0, _s1, _n1 in plan.ops
+    ]
+    weights.sort(key=lambda pair: (-pair[0], pair[1]))
+    return weights
+
+
+def ternary_eval(
+    plan: ConePlan, edge: int, clamps: Mapping[int, int]
+) -> tuple[int, int]:
+    """Scalar ternary evaluation (the SWAR kernel's reference).
+
+    ``clamps`` maps node ids to 0/1 wire overrides; unclamped inputs are
+    ``X`` (encoded 2).  Returns ``(root_value, definite_ops)`` where
+    ``root_value`` is 0/1/2 for ``edge`` and ``definite_ops`` counts the
+    AND nodes whose value settled to a constant.
+    """
+    values = [0] * plan.size
+    for index, node in plan.inputs:
+        values[index] = clamps.get(node, 2)
+    definite = 0
+    for dst, src0, neg0, src1, neg1 in plan.ops:
+        clamp = clamps.get(plan.nodes[dst])
+        if clamp is not None:
+            values[dst] = clamp
+            definite += 1
+            continue
+        a = values[src0]
+        if neg0 and a != 2:
+            a ^= 1
+        b = values[src1]
+        if neg1 and b != 2:
+            b ^= 1
+        if a == 0 or b == 0:
+            value = 0
+        elif a == 1 and b == 1:
+            value = 1
+        else:
+            value = 2
+        values[dst] = value
+        if value != 2:
+            definite += 1
+    root = values[plan.pos.get(edge >> 1, 0)]
+    if root != 2 and edge & 1:
+        root ^= 1
+    return root, definite
+
+
+def ternary_lookahead(
+    plan: ConePlan, edge: int, trials: Sequence[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """All ``trials`` (node, value) evaluated in one SWAR plan pass.
+
+    Returns one ``(root_value, definite_ops)`` pair per trial, matching
+    :func:`ternary_eval` with ``clamps={node: value}``.
+    """
+    k = len(trials)
+    if k == 0:
+        return []
+    ops = plan.ops
+    # Lane counter width: each op adds at most one to a lane's definite
+    # count, so 2**w > len(ops) keeps the fields carry-free.
+    w = max(2, len(ops).bit_length() + 1)
+    ones = 0
+    for i in range(k):
+        ones |= 1 << (i * w)
+    # Per-node lane patches: clear the trial lanes, then set exactly the
+    # can0 or can1 bit the trial pins.
+    patch: dict[int, tuple[int, int, int]] = {}
+    for i, (node, value) in enumerate(trials):
+        clear, p0, p1 = patch.get(node, (0, 0, 0))
+        bit = 1 << (i * w)
+        clear |= bit
+        if value:
+            p1 |= bit
+        else:
+            p0 |= bit
+        patch[node] = (clear, p0, p1)
+
+    can0 = [0] * plan.size
+    can1 = [0] * plan.size
+    can0[0] = ones  # constant FALSE: definitely 0 in every lane
+    for index, node in plan.inputs:
+        entry = patch.get(node)
+        if entry is None:
+            can0[index] = ones
+            can1[index] = ones
+        else:
+            clear, p0, p1 = entry
+            keep = ones & ~clear
+            can0[index] = keep | p0
+            can1[index] = keep | p1
+    score = 0
+    for dst, src0, neg0, src1, neg1 in ops:
+        a0, a1 = (can1[src0], can0[src0]) if neg0 else (can0[src0], can1[src0])
+        b0, b1 = (can1[src1], can0[src1]) if neg1 else (can0[src1], can1[src1])
+        c0 = a0 | b0
+        c1 = a1 & b1
+        entry = patch.get(plan.nodes[dst])
+        if entry is not None:
+            clear, p0, p1 = entry
+            c0 = (c0 & ~clear) | p0
+            c1 = (c1 & ~clear) | p1
+        can0[dst] = c0
+        can1[dst] = c1
+        score += ones & ~(c0 & c1)
+
+    index = plan.pos.get(edge >> 1, 0)
+    r0, r1 = can0[index], can1[index]
+    if edge & 1:
+        r0, r1 = r1, r0
+    field = (1 << w) - 1
+    results = []
+    for i in range(k):
+        bit = 1 << (i * w)
+        zero, one = bool(r0 & bit), bool(r1 & bit)
+        value = 2 if (zero and one) else (1 if one else 0)
+        results.append((value, (score >> (i * w)) & field))
+    return results
+
+
+def analyze(
+    aig: Aig,
+    target: int,
+    *,
+    candidates_limit: int = 10,
+    exclude: Iterable[int] = (),
+) -> LookaheadResult:
+    """Score one cube's target: forced values, refutation, split gate.
+
+    ``exclude`` lists nodes already assigned on this cube's path (their
+    consistency conjuncts keep them in the cone, but re-splitting them
+    makes no progress).  The target's own root is likewise excluded —
+    assigning it rebuilds the identical target.
+    """
+    plan = cone_plan(aig, (target,))
+    excluded = set(exclude)
+    excluded.add(target >> 1)
+    candidates = [
+        node
+        for _weight, node in gate_weights(plan)
+        if node not in excluded
+    ][:candidates_limit]
+    if not candidates:
+        # Purely-structural cones (no AND left to split): fall back to
+        # the cone's primary inputs, widest implied reduction first.
+        candidates = [
+            node for _index, node in plan.inputs if node not in excluded
+        ][:candidates_limit]
+    if not candidates:
+        return LookaheadResult(False, (), None, (0, 0))
+    trials: list[tuple[int, int]] = []
+    for node in candidates:
+        trials.append((node, 0))
+        trials.append((node, 1))
+    lanes = ternary_lookahead(plan, target, trials)
+    forced: list[tuple[int, bool]] = []
+    best: tuple[int, int, int] | None = None  # (-min, -sum, node) ordering
+    best_score = (0, 0)
+    for pos, node in enumerate(candidates):
+        value0, def0 = lanes[2 * pos]
+        value1, def1 = lanes[2 * pos + 1]
+        if value0 == 0 and value1 == 0:
+            return LookaheadResult(True, tuple(forced), None, (def0, def1))
+        if value0 == 0:
+            forced.append((node, True))
+            continue
+        if value1 == 0:
+            forced.append((node, False))
+            continue
+        key = (-min(def0, def1), -(def0 + def1), node)
+        if best is None or key < best:
+            best = key
+            best_score = (def0, def1)
+    if forced:
+        # Apply the free assignments first; the caller re-analyzes the
+        # reduced target before spending depth on a split.
+        return LookaheadResult(False, tuple(forced), None, (0, 0))
+    return LookaheadResult(
+        False, (), best[2] if best is not None else None, best_score
+    )

@@ -19,6 +19,7 @@ import pathlib
 from repro.circuits.netlist import Netlist
 from repro.api.registry import get_engine, register_engine
 from repro.obs import probes as _obs
+from repro.cnc.options import CncOptions
 from repro.itp.options import ItpOptions
 from repro.mc.bmc import BmcOptions, bmc
 from repro.mc.induction import KInductionOptions, k_induction
@@ -177,6 +178,21 @@ def _run_pdr(netlist: Netlist, options: PdrOptions) -> VerificationResult:
     from repro.pdr.engine import pdr_reachability
 
     return pdr_reachability(netlist, options)
+
+
+@register_engine(
+    name="cnc",
+    summary="cube and conquer: lookahead gate splitting over one deep "
+    "unrolling, leaf cubes conquered on a multiprocessing pool",
+    options_class=CncOptions,
+    depth_field="max_depth",
+    complete=False,
+    direction="forward",
+)
+def _run_cnc(netlist: Netlist, options: CncOptions) -> VerificationResult:
+    from repro.cnc.engine import cnc_verify
+
+    return cnc_verify(netlist, options)
 
 
 @register_engine(

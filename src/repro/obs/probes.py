@@ -38,6 +38,10 @@ series                  meaning
 ``pdr.frames``          frame count
 ``itp.interpolant_nodes``  AND nodes of the latest interpolant
 ``itp.reach_nodes``     AND nodes of the accumulated reached set
+``cnc.open_cubes``      cubes still waiting for a verdict
+``cnc.solved_cubes``    cubes the conquer stage has finished
+``cnc.refuted_cubes``   cubes closed by the lookahead, no solver needed
+``cnc.active_workers``  conquer worker processes currently in flight
 ======================  =====================================================
 """
 
@@ -166,6 +170,30 @@ def bdd_tick(manager, bag=None) -> None:
         ("bdd.nodes", manager.num_nodes),
         ("bdd.cache_hit_rate", hits / lookups if lookups else 0.0),
         ("bdd.cache_entries", entries),
+    )
+    for name, value in pairs:
+        t.sample(name, value)
+        if bag is not None:
+            bag.sample(name, value, t=now)
+
+
+def cnc_tick(
+    open_cubes: int,
+    solved_cubes: int,
+    refuted_cubes: int,
+    active_workers: int,
+    bag=None,
+) -> None:
+    """Sample the cube-and-conquer engine's cube and worker gauges."""
+    t = _TRACER
+    if t is None or not t.should_sample("cnc.open_cubes"):
+        return
+    now = t.now()
+    pairs = (
+        ("cnc.open_cubes", open_cubes),
+        ("cnc.solved_cubes", solved_cubes),
+        ("cnc.refuted_cubes", refuted_cubes),
+        ("cnc.active_workers", active_workers),
     )
     for name, value in pairs:
         t.sample(name, value)

@@ -105,6 +105,13 @@ def _predict_order(features: dict[str, float], engines: list[str]) -> list[str]:
         # wide-but-shallow state machines where itp's unrollings and
         # BMC's depth sweeps both blow up.
         "pdr": 2.0 + 0.25 * depth + 0.02 * ands,
+        # Cube-and-conquer earns its fork overhead on wide-input,
+        # deep-logic cones (equivalence miters, arithmetic): splitting
+        # needs internal gates with large fanout cones to bite on.
+        # Latches price the unrolling blowup; many inputs are the
+        # signal that cubing will actually shrink the leaves.
+        "cnc": 3.0 + 0.02 * ands + 0.15 * depth + 0.3 * latches
+        - 0.08 * inputs,
     }
     return sorted(engines, key=lambda m: (scores.get(m, 1e9), m))
 

@@ -48,6 +48,41 @@ def _context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
+def spawn_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every worker pool here uses."""
+    return _context()
+
+
+def parent_obs_config() -> dict | None:
+    """The obs hand-off a parent passes to its workers (None = untraced)."""
+    tracer = obs.current_tracer() if obs.is_enabled() else None
+    if tracer is None:
+        return None
+    return {"epoch": tracer.epoch, "tick": tracer.tick}
+
+
+def child_obs_tracer(obs_cfg: dict | None):
+    """Set up tracing inside a forked worker.
+
+    A forked worker inherits the parent's enabled flag AND its tracer
+    (with everything the parent already recorded); drop that and collect
+    into a fresh tracer on the parent's epoch so exported records merge
+    into one timeline without duplicating the parent's spans.  Returns
+    the fresh tracer, or None when the parent ran untraced.
+    """
+    if obs_cfg is not None:
+        obs.disable()
+        return obs.enable(
+            obs.Tracer(
+                tick=obs_cfg.get("tick", 0.01),
+                epoch=obs_cfg.get("epoch"),
+            )
+        )
+    if obs.is_enabled():  # pragma: no cover - fork inherited state
+        obs.disable()
+    return None
+
+
 def _worker(
     conn,
     netlist: Netlist,
@@ -71,21 +106,7 @@ def _worker(
                 },
             )
         )
-        if obs_cfg is not None:
-            # A forked worker inherits the parent's enabled flag AND its
-            # tracer (with everything the parent already recorded); drop
-            # that and collect into a fresh tracer on the parent's epoch
-            # so exported records merge into one timeline without
-            # duplicating the parent's spans.
-            obs.disable()
-            tracer = obs.enable(
-                obs.Tracer(
-                    tick=obs_cfg.get("tick", 0.01),
-                    epoch=obs_cfg.get("epoch"),
-                )
-            )
-        elif obs.is_enabled():  # pragma: no cover - fork inherited state
-            obs.disable()
+        tracer = child_obs_tracer(obs_cfg)
         result = verify(netlist, method=method, max_depth=max_depth, **options)
         if tracer is not None:
             conn.send(("obs", tracer.export_records()))
@@ -133,19 +154,24 @@ class PortfolioOutcome:
     stats: StatsBag = field(default_factory=StatsBag)
 
 
-class _Run:
-    """Bookkeeping for one in-flight worker."""
+class WorkerHandle:
+    """One spawned worker process plus its result pipe.
 
-    __slots__ = ("method", "process", "conn", "started")
+    Shared bookkeeping between the portfolio race and the cube-and-
+    conquer pool (:mod:`repro.cnc.conquer`): the worker target receives
+    the child end of a one-way pipe as its first argument, followed by
+    ``args``, and reports with ``(kind, payload)`` messages.
+    """
 
-    def __init__(self, ctx, netlist, method, max_depth, options, obs_cfg):
+    __slots__ = ("label", "payload", "process", "conn", "started")
+
+    def __init__(self, ctx, target, args, label, payload=None):
         parent_conn, child_conn = ctx.Pipe(duplex=False)
-        self.method = method
+        self.label = label
+        self.payload = payload
         self.conn = parent_conn
         self.process = ctx.Process(
-            target=_worker,
-            args=(child_conn, netlist, method, max_depth, options, obs_cfg),
-            daemon=True,
+            target=target, args=(child_conn, *args), daemon=True
         )
         self.process.start()
         child_conn.close()
@@ -212,7 +238,7 @@ def run_portfolio(
         else None
     )
     pending = list(methods)
-    running: list[_Run] = []
+    running: list[WorkerHandle] = []
     outcomes: list[EngineOutcome] = []
     winner: str | None = None
     winning: VerificationResult | None = None
@@ -224,7 +250,7 @@ def run_portfolio(
                 {"kind": kind, "engine": method, "elapsed": elapsed, **extra}
             )
 
-    def finish(run: _Run, outcome: EngineOutcome) -> None:
+    def finish(run: WorkerHandle, outcome: EngineOutcome) -> None:
         running.remove(run)
         outcomes.append(outcome)
         if outcome.cancelled:
@@ -244,9 +270,13 @@ def run_portfolio(
 
     while running or launching():
         while launching() and len(running) < jobs:
+            method = pending.pop(0)
             running.append(
-                _Run(
-                    ctx, netlist, pending.pop(0), max_depth, options, obs_cfg
+                WorkerHandle(
+                    ctx,
+                    _worker,
+                    (netlist, method, max_depth, options, obs_cfg),
+                    label=method,
                 )
             )
         progressed = False
@@ -274,12 +304,12 @@ def run_portfolio(
                 elapsed = run.elapsed
                 run.kill()
                 if kind != "ok":
-                    result = _unknown(run.method, "engine_crashed", budget)
+                    result = _unknown(run.label, "engine_crashed", budget)
                     result.stats.set("crash_note", 1)
                     finish(
                         run,
                         EngineOutcome(
-                            run.method, result, elapsed, crashed=True
+                            run.label, result, elapsed, crashed=True
                         ),
                     )
                     continue
@@ -294,11 +324,11 @@ def run_portfolio(
                         decisive = True
                     else:
                         result = _unknown(
-                            run.method, "invalid_counterexample", budget
+                            run.label, "invalid_counterexample", budget
                         )
-                finish(run, EngineOutcome(run.method, result, elapsed))
+                finish(run, EngineOutcome(run.label, result, elapsed))
                 if decisive and winner is None:
-                    winner, winning = run.method, result
+                    winner, winning = run.label, result
                     if stop_on_decisive:
                         for method in pending:
                             outcomes.append(
@@ -316,9 +346,9 @@ def run_portfolio(
                             finish(
                                 loser,
                                 EngineOutcome(
-                                    loser.method,
+                                    loser.label,
                                     _unknown(
-                                        loser.method, "cancelled", budget
+                                        loser.label, "cancelled", budget
                                     ),
                                     loser.elapsed,
                                     cancelled=True,
@@ -330,8 +360,8 @@ def run_portfolio(
                 finish(
                     run,
                     EngineOutcome(
-                        run.method,
-                        _unknown(run.method, "timed_out", budget),
+                        run.label,
+                        _unknown(run.label, "timed_out", budget),
                         run.elapsed,
                         timed_out=True,
                     ),
@@ -342,8 +372,8 @@ def run_portfolio(
                 finish(
                     run,
                     EngineOutcome(
-                        run.method,
-                        _unknown(run.method, "engine_crashed", budget),
+                        run.label,
+                        _unknown(run.label, "engine_crashed", budget),
                         run.elapsed,
                         crashed=True,
                     ),

@@ -32,7 +32,7 @@ class TestRegistry:
         assert set(names) == {
             "bmc", "k_induction", "reach_aig", "reach_aig_allsat",
             "reach_aig_hybrid", "reach_aig_fwd", "reach_bdd",
-            "reach_bdd_fwd", "itp", "pdr", "portfolio",
+            "reach_bdd_fwd", "itp", "pdr", "cnc", "portfolio",
         }
 
     def test_every_engine_runs_on_a_tiny_counter(self):

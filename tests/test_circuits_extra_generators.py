@@ -3,7 +3,9 @@
 import pytest
 
 from repro.circuits.generators import (
+    FAMILIES,
     johnson_counter,
+    multiplier_miter,
     one_hot_fsm,
     up_down_counter,
 )
@@ -127,3 +129,67 @@ class TestOneHot:
         )
         bits = [state[n] for n in netlist.latch_nodes]
         assert sum(bits) == 2  # state 0 kept AND state 1 set
+
+
+class TestMultiplierMiter:
+    def test_both_multipliers_compute_integer_products(self):
+        # Width 2 exhaustively: every output bit of the array side (the
+        # miter's outputs) matches integer multiplication, and the safe
+        # property holds on every input.
+        from repro.aig.simulate import eval_edge
+
+        netlist = multiplier_miter(2)
+        outs = netlist.outputs
+        for bits in range(16):
+            assignment = {
+                node: bool(bits >> k & 1)
+                for k, node in enumerate(netlist.input_nodes)
+            }
+            a = (bits & 1) | (bits >> 1 & 1) << 1
+            b = (bits >> 2 & 1) | (bits >> 3 & 1) << 1
+            product = sum(
+                eval_edge(netlist.aig, outs[f"p{k}"], assignment) << k
+                for k in range(4)
+            )
+            assert product == a * b
+            assert eval_edge(
+                netlist.aig, netlist.property_edge, assignment
+            )
+
+    def test_buggy_variant_fails_on_a_quarter_of_inputs(self):
+        from repro.aig.simulate import eval_edge
+
+        netlist = multiplier_miter(2, safe=False)
+        failures = sum(
+            not eval_edge(
+                netlist.aig,
+                netlist.property_edge,
+                {
+                    node: bool(bits >> k & 1)
+                    for k, node in enumerate(netlist.input_nodes)
+                },
+            )
+            for bits in range(16)
+        )
+        assert failures == 4  # exactly when both operand MSBs are 1
+
+    def test_verdicts_across_engines(self):
+        for engine in ("bmc", "cnc"):
+            result = verify(
+                multiplier_miter(2, safe=False), method=engine,
+                max_depth=0, workers=0,
+            ) if engine == "cnc" else verify(
+                multiplier_miter(2, safe=False), method=engine,
+                max_depth=0,
+            )
+            assert result.status is Status.FAILED, engine
+            assert result.trace.validate(multiplier_miter(2, safe=False))
+
+    def test_family_registered(self):
+        assert "multiplier_miter" in FAMILIES
+        assert multiplier_miter(3).name == "mul_miter_3"
+        assert multiplier_miter(3, safe=False).name == "mul_miter_3_buggy"
+
+    def test_min_width_rejected(self):
+        with pytest.raises(NetlistError):
+            multiplier_miter(1)

@@ -264,7 +264,8 @@ class TestBlifParser:
 class TestLibrary:
     def test_catalogue_names(self):
         assert set(catalogue()) == {
-            "c17", "s27", "s27_with_property", "handshake", "handshake_buggy"
+            "c17", "s27", "s27_with_property", "handshake",
+            "handshake_buggy", "mul_miter2", "mul_miter2_buggy",
         }
 
     def test_s27_property_is_safe_on_both_engines(self):

@@ -68,6 +68,18 @@ class TestEngines:
         for flag in ("complete", "trace", "constraints", "forward"):
             assert flag in lines["pdr"], flag
 
+    def test_lists_cnc_engine(self, capsys):
+        # The cube-and-conquer engine must appear in the registry-derived
+        # listing as a bounded (not complete) forward engine.
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        lines = {
+            line.split()[0]: line for line in out.splitlines()[1:] if line
+        }
+        assert "cnc" in lines
+        assert "forward" in lines["cnc"]
+        assert "complete" not in lines["cnc"]
+
 
 class TestInfo:
     def test_info_reports_structure(self, s27_bench, capsys):

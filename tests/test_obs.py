@@ -268,6 +268,23 @@ class TestZeroCostDisabled:
         assert traced.status is Status.FAILED
         assert baseline.stats.as_dict() == traced.stats.as_dict()
 
+    def test_cnc_traced_run_is_stats_identical(self):
+        # workers=0 keeps the conquer in-process and deterministic, so
+        # the cnc probes are held to the same bar as the other engines:
+        # bit-identical scalar stats with tracing on or off.
+        netlist = handshake(False)
+        kwargs = dict(method="cnc", max_depth=12, workers=0)
+        baseline = verify(netlist, **kwargs)
+        traced = verify(netlist, **kwargs, trace=True)
+        assert baseline.status is traced.status is Status.FAILED
+        assert baseline.stats.as_dict() == traced.stats.as_dict()
+        names = {span.name for span in traced.tracer.spans}
+        assert {"cnc.unroll", "cnc.cube", "cnc.conquer",
+                "sat.solve"} <= names
+        series = {rec.name for rec in traced.tracer.counters}
+        assert {"cnc.open_cubes", "cnc.solved_cubes",
+                "cnc.refuted_cubes", "cnc.active_workers"} <= series
+
 
 class TestVerifyTraceWiring:
     def test_trace_true_attaches_tracer(self):

@@ -245,6 +245,16 @@ class TestPolicies:
         assert "reach_aig_allsat" not in defaults
         assert "reach_aig_hybrid" not in defaults
 
+    def test_predict_ranks_cnc_first_on_wide_arithmetic_miters(self):
+        # The cnc score is tuned for wide-input deep-logic cones: it must
+        # lead on the multiplier miter and stay behind the quick
+        # bounded/inductive engines on a narrow sequential counter.
+        plan = select_plan(G.multiplier_miter(4), policy="predict")
+        assert plan.methods[0] == "cnc"
+        counter_plan = select_plan(G.mod_counter(4, 12), policy="predict")
+        assert "cnc" in counter_plan.methods
+        assert "cnc" not in counter_plan.methods[:2]
+
     def test_features_are_cheap_structural_counts(self):
         features = circuit_features(G.mod_counter(4, 12))
         assert features["latches"] == 4
