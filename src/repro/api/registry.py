@@ -252,6 +252,44 @@ def iter_engines() -> tuple[EngineSpec, ...]:
     return tuple(_REGISTRY.values())
 
 
+def engine_catalog() -> list[dict]:
+    """Machine-readable registry: one JSON-shaped dict per engine.
+
+    This is the payload of ``repro engines --json`` and of the
+    verification service's ``/engines`` endpoint, so a remote client
+    can validate a submission's ``method`` (and discover its option
+    names) without importing the registry — the schema is stable:
+    ``name``/``summary``/``direction``/``depth_field`` scalars, a
+    ``capabilities`` flag map, and the option dataclass's field names.
+    """
+    _ensure_builtin()
+    catalog = []
+    for spec in _REGISTRY.values():
+        options = (
+            sorted(f.name for f in dataclasses.fields(spec.options_class))
+            if spec.options_class is not None
+            else []
+        )
+        catalog.append(
+            {
+                "name": spec.name,
+                "summary": spec.summary,
+                "direction": spec.direction,
+                "depth_field": spec.depth_field,
+                "capabilities": {
+                    "produces_trace": spec.produces_trace,
+                    "complete": spec.complete,
+                    "supports_constraints": spec.supports_constraints,
+                    "quick": spec.quick,
+                    "composite": spec.composite,
+                    "variant_of": spec.variant_of,
+                },
+                "options": options,
+            }
+        )
+    return catalog
+
+
 def engines_with(**flags: object) -> tuple[EngineSpec, ...]:
     """Specs whose attributes match every given flag, e.g.
     ``engines_with(complete=True, composite=False)``."""

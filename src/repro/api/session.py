@@ -72,6 +72,12 @@ class Session:
     * ``on_progress`` — a callback receiving every
       :class:`ProgressEvent`; more can be passed per ``verify_many``
       call.
+    * ``cancel_poll`` — an optional zero-argument callable polled at
+      task boundaries and on every forwarded engine lifecycle event
+      (i.e. between engine races); returning True cancels the session.
+      This is how wire-level cancellation reaches a running session: a
+      service worker (:mod:`repro.svc.worker`) passes a poll of its
+      job record's cancel flag.
     """
 
     def __init__(
@@ -81,6 +87,7 @@ class Session:
         max_cache_entries: int = 4096,
         on_progress: ProgressCallback | None = None,
         stats: StatsBag | None = None,
+        cancel_poll: Callable[[], bool] | None = None,
     ) -> None:
         if isinstance(cache, ResultCache):
             self.cache = cache
@@ -93,6 +100,7 @@ class Session:
             [on_progress] if on_progress is not None else []
         )
         self._cancelled = threading.Event()
+        self._cancel_poll = cancel_poll
 
     # ------------------------------------------------------------------ #
     # Cancellation and events
@@ -109,6 +117,15 @@ class Session:
     def reset(self) -> None:
         """Clear the cancellation flag so the session can run again."""
         self._cancelled.clear()
+
+    def _poll_cancel(self) -> None:
+        """Check the external cancellation source, if one is wired."""
+        if (
+            self._cancel_poll is not None
+            and not self._cancelled.is_set()
+            and self._cancel_poll()
+        ):
+            self._cancelled.set()
 
     def on_progress(self, callback: ProgressCallback) -> ProgressCallback:
         """Subscribe a callback to every future event (decorator-friendly)."""
@@ -141,6 +158,7 @@ class Session:
     ) -> VerificationResult:
         """Run one task: cache lookup, budgeted engine run, cache store."""
         spec = task.spec()  # resolve early: unknown engines fail loudly
+        self._poll_cancel()
         if self.cancelled:
             result = self._cancelled_result(task)
             self._emit(
@@ -176,7 +194,11 @@ class Session:
 
             def forward(event: dict) -> None:
                 # Engine lifecycle dicts from the worker runner, re-shaped
-                # as progress events against this task.
+                # as progress events against this task.  Engine
+                # boundaries are also where an external cancellation
+                # source gets its say (the flag takes effect before the
+                # next task starts).
+                self._poll_cancel()
                 self._emit(
                     ProgressEvent(
                         str(event.get("kind", "engine_event")),

@@ -112,6 +112,14 @@ def _cmd_convert(args: argparse.Namespace) -> int:
 def _cmd_engines(args: argparse.Namespace) -> int:
     from repro.api.registry import iter_engines
 
+    if getattr(args, "json", False):
+        import json
+
+        from repro.api.registry import engine_catalog
+
+        print(json.dumps({"engines": engine_catalog()}, indent=2))
+        return 0
+
     def capability_flags(spec) -> str:
         flags = []
         if spec.complete:
@@ -366,6 +374,158 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Service subcommands
+# ---------------------------------------------------------------------- #
+
+
+def _http_json(url: str, payload: dict | None = None) -> dict:
+    """One JSON request against the service API (POST iff a payload)."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode()
+        try:
+            error = json.loads(body).get("error", body)
+        except ValueError:
+            error = body or str(exc)
+        raise ReproError(f"service returned {exc.code}: {error}") from None
+    except urllib.error.URLError as exc:
+        raise ReproError(f"cannot reach service at {url}: {exc.reason}") from None
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.svc.server import VerificationServer
+
+    server = VerificationServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        lease_seconds=args.lease,
+        max_pending=args.max_pending,
+    )
+    import signal
+    import threading
+
+    host, port = server.start()
+    print(f"serving on http://{host}:{port} "
+          f"(store {args.store}, {args.workers} workers)")
+    stopped = threading.Event()
+    # SIGTERM (docker stop, CI cleanup) must tear the worker fleet down
+    # as cleanly as ^C, or their engine subprocesses outlive the server.
+    signal.signal(signal.SIGTERM, lambda *_: stopped.set())
+    try:
+        stopped.wait()
+    except KeyboardInterrupt:
+        pass
+    print("shutting down")
+    server.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    netlist = _load(args.file)
+    if args.property is not None:
+        netlist.set_property(_resolve_signal(netlist, args.property))
+    if not netlist.has_property:
+        print(
+            "error: the file carries no property; pass --property SIGNAL",
+            file=sys.stderr,
+        )
+        return 2
+    text = serialize_netlist(netlist)
+    name = args.name or pathlib.Path(args.file).stem
+    fields = dict(
+        method=args.method,
+        max_depth=args.max_depth,
+        timeout=args.timeout,
+        priority=args.priority,
+        namespace=args.namespace,
+        name=name,
+    )
+    if args.url is not None:
+        job_id = _http_json(
+            f"{args.url.rstrip('/')}/submit",
+            {"netlist": text, "format": "net", **fields},
+        )["job_id"]
+    else:
+        from repro.svc.queue import TaskQueue
+        from repro.svc.store import Store
+
+        queue = TaskQueue(Store(args.store))
+        job_id = queue.submit(text, fmt="net", **fields)
+    print(f"job {job_id} submitted ({name}, method {args.method})")
+    if not args.wait:
+        return 0
+    if args.url is None:
+        # Offline mode has no server fleet; lend a hand draining the
+        # store so --wait terminates (a no-op if another worker got
+        # there first).
+        from repro.svc.worker import Worker
+
+        Worker(queue.store).run(drain=True)
+    while True:
+        if args.url is not None:
+            status = _http_json(f"{args.url.rstrip('/')}/jobs/{job_id}")
+        else:
+            status = queue.job(job_id).to_dict()
+        if status["state"] in ("done", "failed", "cancelled"):
+            break
+        time.sleep(args.poll)
+    print(json.dumps(status, indent=2))
+    if status["state"] == "failed":
+        print(f"error: {status.get('reason')}", file=sys.stderr)
+        return 2
+    if status["state"] == "cancelled":
+        return 3
+    verdict = status.get("verdict")
+    return {"proved": 0, "failed": 1}.get(verdict, 3)
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    if args.url is not None:
+        query = f"?state={args.state}" if args.state else ""
+        records = _http_json(f"{args.url.rstrip('/')}/jobs{query}")["jobs"]
+    else:
+        from repro.svc.queue import TaskQueue
+        from repro.svc.store import Store
+
+        queue = TaskQueue(Store(args.store))
+        records = [
+            job.to_dict() for job in queue.jobs(state=args.state or None)
+        ]
+    if args.json:
+        print(json.dumps({"jobs": records}, indent=2))
+        return 0
+    if not records:
+        print("no jobs")
+        return 0
+    print(f"{'id':>5}  {'state':<10}{'verdict':<9}{'method':<12}"
+          f"{'att':>3}  name")
+    for record in records:
+        print(
+            f"{record['job_id']:>5}  {record['state']:<10}"
+            f"{(record.get('verdict') or '-'):<9}{record['method']:<12}"
+            f"{record['attempts']:>3}  {record.get('name') or ''}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
 
@@ -402,6 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         "engines",
         help="list the registered verification engines and their "
         "capability flags",
+    )
+    p_engines.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable registry (the /engines payload of the "
+        "verification service)",
     )
     p_engines.set_defaults(func=_cmd_engines)
 
@@ -540,6 +706,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="cnf", choices=["cnf", "circuit"]
     )
     p_fraig.set_defaults(func=_cmd_fraig)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the verification service: durable store, job queue, "
+        "HTTP JSON API, worker fleet",
+    )
+    p_serve.add_argument("store", help="path of the SQLite service store")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8349)
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes draining the queue (0 = front only)",
+    )
+    p_serve.add_argument(
+        "--lease", type=float, default=30.0,
+        help="worker lease seconds (crash-recovery latency bound)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="queued-job bound; past it, submits are rejected with "
+        "retry-after (backpressure)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a circuit to a verification service"
+    )
+    p_submit.add_argument("file")
+    target = p_submit.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url", help="service base URL (http://host:port)")
+    target.add_argument(
+        "--store", help="enqueue directly into a store file (no server)"
+    )
+    p_submit.add_argument(
+        "--method", default="portfolio", choices=list(engine_names())
+    )
+    p_submit.add_argument("--max-depth", type=int, default=100)
+    p_submit.add_argument("--timeout", type=float)
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument(
+        "--namespace", default="", help="tenant namespace for cache isolation"
+    )
+    p_submit.add_argument("--name", help="display name (default: file stem)")
+    p_submit.add_argument(
+        "--property",
+        help="output/input/latch name asserted invariantly true "
+        "('!name' negates)",
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job is terminal; exit like 'repro mc' "
+        "(0 proved / 1 failed / 3 unknown or cancelled)",
+    )
+    p_submit.add_argument("--poll", type=float, default=0.2)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a verification service's job table"
+    )
+    jobs_target = p_jobs.add_mutually_exclusive_group(required=True)
+    jobs_target.add_argument("--url", help="service base URL")
+    jobs_target.add_argument("--store", help="store file (no server needed)")
+    p_jobs.add_argument(
+        "--state", choices=["queued", "running", "done", "failed",
+                            "cancelled"],
+    )
+    p_jobs.add_argument("--json", action="store_true")
+    p_jobs.set_defaults(func=_cmd_jobs)
 
     p_atpg = sub.add_parser(
         "atpg", help="stuck-at fault campaign on the output cones"

@@ -79,5 +79,30 @@ class ModelCheckingError(ReproError):
     """Raised when a model-checking engine is configured inconsistently."""
 
 
+class ServiceError(ReproError):
+    """Raised for verification-service failures (:mod:`repro.svc`):
+    a store whose schema is newer than the code, a malformed submission,
+    or a job operation against the wrong state."""
+
+
+class QueueFullError(ServiceError):
+    """Raised when a submission is rejected for backpressure.
+
+    The durable queue bounds its depth; past the bound, ``submit``
+    raises this instead of growing without limit.  ``retry_after`` is
+    the server's hint (seconds) for when to try again — the HTTP front
+    maps it to a 429 response with the same field.
+    """
+
+    def __init__(self, depth: int, bound: int, retry_after: float) -> None:
+        super().__init__(
+            f"queue is full ({depth} queued >= bound {bound}); "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.depth = depth
+        self.bound = bound
+        self.retry_after = retry_after
+
+
 class ResourceLimit(ReproError):
     """Raised when an engine exceeds a user-supplied resource budget."""

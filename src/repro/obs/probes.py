@@ -42,6 +42,9 @@ series                  meaning
 ``cnc.solved_cubes``    cubes the conquer stage has finished
 ``cnc.refuted_cubes``   cubes closed by the lookahead, no solver needed
 ``cnc.active_workers``  conquer worker processes currently in flight
+``svc.queue_depth``     claimable jobs in the service's durable queue
+``svc.active_leases``   jobs currently held under a worker lease
+``svc.completed_jobs``  jobs this worker has finished since it started
 ======================  =====================================================
 """
 
@@ -194,6 +197,33 @@ def cnc_tick(
         ("cnc.solved_cubes", solved_cubes),
         ("cnc.refuted_cubes", refuted_cubes),
         ("cnc.active_workers", active_workers),
+    )
+    for name, value in pairs:
+        t.sample(name, value)
+        if bag is not None:
+            bag.sample(name, value, t=now)
+
+
+def svc_tick(
+    queue_depth: int,
+    active_leases: int,
+    completed_jobs: int,
+    bag=None,
+) -> None:
+    """Sample the verification service's queue/lease/worker gauges.
+
+    Same read-only contract as every other probe: the worker loop calls
+    this between claims, so a traced service run is observable without
+    perturbing any verdict (pinned by the svc stats-identity test).
+    """
+    t = _TRACER
+    if t is None or not t.should_sample("svc.queue_depth"):
+        return
+    now = t.now()
+    pairs = (
+        ("svc.queue_depth", queue_depth),
+        ("svc.active_leases", active_leases),
+        ("svc.completed_jobs", completed_jobs),
     )
     for name, value in pairs:
         t.sample(name, value)

@@ -1,18 +1,30 @@
 """Persistent verification-result cache keyed by structural hash.
 
-The store is a JSON-lines file (append-only, last entry wins on reload)
-fronted by an in-memory LRU map, so a long-running service pays one file
-read at start-up and O(1) per lookup afterwards.  Keys are
-``(structural_hash, method, max_depth)`` — the three things a verdict
-depends on besides the engine's resource budget.
+An in-memory LRU map fronts one of two persistence backends, chosen by
+the path's suffix:
 
-Records are the :meth:`VerificationResult.to_dict` payload with the
-cache key fields added.  Traces are serialized *positionally*
-(bit-strings over the latch and input registration order, the
-``netlist=`` encoding of :mod:`repro.mc.result`) rather than by AIG node
-id, because node ids are exactly what the structural hash abstracts
-away: a hit produced by one manager must decode into a valid trace for a
-differently-numbered manager of the same circuit.
+* ``.jsonl`` (or anything else) — the legacy JSON-lines file:
+  append-only, last entry wins on reload.  Appends are crash- and
+  concurrency-safe: each record is written with a *single*
+  ``os.write`` to an ``O_APPEND`` descriptor under an advisory file
+  lock, so parallel writer processes can never interleave mid-line
+  (they used to, through buffered ``file.write`` calls).
+* ``.sqlite`` / ``.sqlite3`` / ``.db`` — the service store
+  (:mod:`repro.svc.store`): WAL-mode SQLite with schema migration, a
+  ``namespace`` column for tenant isolation, and certificate blobs
+  stored content-addressed alongside the verdicts.  Lookups that miss
+  the memory front fall through to an indexed point query, so a
+  long-running service is not bounded by its LRU size.
+
+Keys are ``(structural_hash, method, max_depth)`` — the three things a
+verdict depends on besides the engine's resource budget.  Records are
+the :meth:`VerificationResult.to_dict` payload with the cache key
+fields added.  Traces are serialized *positionally* (bit-strings over
+the latch and input registration order, the ``netlist=`` encoding of
+:mod:`repro.mc.result`) rather than by AIG node id, because node ids
+are exactly what the structural hash abstracts away: a hit produced by
+one manager must decode into a valid trace for a differently-numbered
+manager of the same circuit.
 
 UNKNOWN entries are stored too, stamped with the wall-clock budget that
 failed to crack them.  They only count as hits for requests with the same
@@ -25,54 +37,171 @@ depth.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from collections import OrderedDict
+from typing import Iterable
+
+try:  # advisory locking is POSIX-only; appends stay atomic without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
 
 from repro.circuits.netlist import Netlist
 from repro.mc.result import Status, VerificationResult
 from repro.portfolio.hashing import structural_hash
 from repro.util.stats import StatsBag
 
+CacheKey = tuple[str, str, int]
 
-class ResultCache:
-    """LRU-fronted persistent memo of verification results.
 
-    ``path=None`` gives a purely in-memory cache; with a path every store
-    is appended to the JSON-lines file and the whole file is replayed on
-    construction (so concurrent *writers* are append-safe, and the newest
-    entry for a key wins).
+class _MemoryBackend:
+    """No persistence: the LRU front is the whole cache."""
+
+    def load(self, limit: int) -> Iterable[dict]:
+        return ()
+
+    def fetch(self, key: CacheKey) -> dict | None:
+        return None
+
+    def append(self, key: CacheKey, record: dict) -> None:
+        pass
+
+
+class _JsonlBackend:
+    """Append-only JSON-lines file, torn-write-safe.
+
+    Every record is serialized first and written with one ``os.write``
+    call on an ``O_APPEND`` descriptor — POSIX guarantees the kernel
+    performs the append atomically, so two processes storing at once
+    produce two whole lines in *some* order, never a spliced one.  An
+    advisory ``flock`` guards the (theoretical) partial-write retry
+    path for oversized records.
     """
 
-    def __init__(
-        self,
-        path: str | pathlib.Path | None = None,
-        max_memory_entries: int = 4096,
-    ) -> None:
-        self.path = pathlib.Path(path) if path is not None else None
-        self.max_memory_entries = max_memory_entries
-        self._entries: OrderedDict[tuple[str, str, int], dict] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        if self.path is not None and self.path.exists():
-            self._load()
+    def __init__(self, path: pathlib.Path) -> None:
+        self.path = path
 
-    def _load(self) -> None:
+    def load(self, limit: int) -> Iterable[dict]:
+        if not self.path.exists():
+            return
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
-                record = json.loads(line)
+                yield json.loads(line)
+            except ValueError:
+                continue  # a torn/corrupt line loses one entry, not the file
+
+    def fetch(self, key: CacheKey) -> dict | None:
+        # Everything was replayed into memory at construction; an entry
+        # evicted from the LRU since is gone for this process.
+        return None
+
+    def append(self, key: CacheKey, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(record) + "\n").encode()
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            view = memoryview(data)
+            while view:
+                written = os.write(fd, view)
+                view = view[written:]
+        finally:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+
+class _StoreBackend:
+    """The SQLite service store (:mod:`repro.svc.store`)."""
+
+    def __init__(self, store, namespace: str) -> None:
+        self.store = store
+        self.namespace = namespace
+
+    def load(self, limit: int) -> Iterable[dict]:
+        return self.store.iter_results(self.namespace, limit=limit)
+
+    def fetch(self, key: CacheKey) -> dict | None:
+        digest, method, max_depth = key
+        return self.store.get_result(
+            self.namespace, digest, method, max_depth
+        )
+
+    def append(self, key: CacheKey, record: dict) -> None:
+        digest, method, max_depth = key
+        self.store.put_result(
+            self.namespace, digest, method, max_depth, record
+        )
+
+
+def _is_store_path(path: pathlib.Path) -> bool:
+    from repro.svc.store import STORE_SUFFIXES
+
+    return path.suffix.lower() in STORE_SUFFIXES
+
+
+class ResultCache:
+    """LRU-fronted persistent memo of verification results.
+
+    ``path=None`` gives a purely in-memory cache; a ``.jsonl`` path
+    appends to a JSON-lines file replayed on construction; a
+    ``.sqlite``/``.sqlite3``/``.db`` path opens (or creates) a service
+    store, with ``namespace`` selecting the tenant partition.  An
+    already-open :class:`repro.svc.store.Store` may be passed directly.
+    """
+
+    def __init__(
+        self,
+        path: "str | pathlib.Path | object | None" = None,
+        max_memory_entries: int = 4096,
+        namespace: str = "",
+    ) -> None:
+        self.max_memory_entries = max_memory_entries
+        self.namespace = namespace
+        self._entries: OrderedDict[CacheKey, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.path: pathlib.Path | None = None
+        if path is None:
+            self._backend: object = _MemoryBackend()
+        elif isinstance(path, (str, pathlib.Path)):
+            self.path = pathlib.Path(path)
+            if _is_store_path(self.path):
+                from repro.svc.store import Store
+
+                self._backend = _StoreBackend(Store(self.path), namespace)
+            else:
+                if namespace:
+                    raise ValueError(
+                        "namespace isolation needs the SQLite store "
+                        "backend; JSON-lines caches are single-tenant"
+                    )
+                self._backend = _JsonlBackend(self.path)
+        else:  # an open Store
+            self.path = getattr(path, "path", None)
+            self._backend = _StoreBackend(path, namespace)
+        self._load()
+
+    def _load(self) -> None:
+        for record in self._backend.load(self.max_memory_entries):
+            try:
                 key = (
                     record["hash"],
                     record["method"],
                     int(record["max_depth"]),
                 )
-            except (ValueError, KeyError):
-                continue  # a torn/corrupt line loses one entry, not the file
+            except (ValueError, KeyError, TypeError):
+                continue
             self._remember(key, record)
 
-    def _remember(self, key: tuple[str, str, int], record: dict) -> None:
+    def _remember(self, key: CacheKey, record: dict) -> None:
         self._entries[key] = record
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_memory_entries:
@@ -91,7 +220,7 @@ class ResultCache:
         method: str,
         max_depth: int,
         digest: str | None = None,
-    ) -> tuple[str, str, int]:
+    ) -> CacheKey:
         """Cache key; pass a precomputed ``digest`` to skip rehashing."""
         if digest is None:
             digest = structural_hash(netlist)
@@ -115,6 +244,12 @@ class ResultCache:
         """
         key = self.key_for(netlist, method, max_depth, digest)
         record = self._entries.get(key)
+        if record is None:
+            # Fall through to the backend: the store answers point
+            # queries for entries the LRU never saw (or evicted).
+            record = self._backend.fetch(key)
+            if record is not None:
+                self._remember(key, record)
         if record is None:
             self.misses += 1
             return None
@@ -157,10 +292,7 @@ class ResultCache:
             }
         )
         self._remember(key, record)
-        if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            with self.path.open("a") as handle:
-                handle.write(json.dumps(record) + "\n")
+        self._backend.append(key, record)
 
     def stats(self) -> StatsBag:
         bag = StatsBag()

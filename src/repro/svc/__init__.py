@@ -1,0 +1,38 @@
+"""Verification-as-a-service: durable store, task queue, workers, server.
+
+The portfolio/Session stack runs every engine in a budgeted subprocess
+with progress events and cancellation, but results and work items die
+with the Python process.  This package is the durability layer on top:
+
+* :mod:`repro.svc.store` — an SQLite-backed keyed store (WAL
+  concurrency, schema versioning/migration) holding verification
+  results keyed by structural hash with namespace isolation,
+  content-addressed certificate blobs, the job table and job events;
+* :mod:`repro.svc.queue` — a durable task queue on the same store:
+  priority + FIFO ordering, worker leases with heartbeat renewal,
+  lease-expiry requeue with bounded attempts, explicit backpressure;
+* :mod:`repro.svc.worker` — the worker loop claiming tasks and running
+  them through :class:`repro.api.Session` (engines keep their
+  subprocess budgets), streaming progress events into the store and
+  honoring cancellation between engine races;
+* :mod:`repro.svc.server` — an ``http.server``-thread JSON API
+  (submit/status/result/cancel/healthcheck/metrics) plus the
+  ``repro serve`` / ``repro submit`` / ``repro jobs`` CLI plumbing.
+"""
+
+from repro.svc.queue import Job, JobState, QueueFullError, TaskQueue
+from repro.svc.store import Store, open_store
+from repro.svc.server import VerificationServer
+from repro.svc.worker import Worker, worker_main
+
+__all__ = [
+    "Job",
+    "JobState",
+    "QueueFullError",
+    "Store",
+    "TaskQueue",
+    "VerificationServer",
+    "Worker",
+    "open_store",
+    "worker_main",
+]

@@ -1,0 +1,558 @@
+"""Durable task queue with worker leases on the service store.
+
+Lifecycle of a job::
+
+    queued --claim--> running --complete--> done
+      |                  |  \\--fail------> failed
+      |                  \\--lease expiry--> queued (attempts < bound)
+      |                                  \\-> failed (attempts >= bound)
+      \\--cancel--> cancelled
+
+* **Ordering** — higher ``priority`` first, FIFO (``job_id``) within a
+  priority.
+* **Leases** — a claim stamps the worker id and a lease deadline; the
+  worker renews it by heartbeat while it runs.  A worker that dies
+  (crash, SIGKILL, power loss) simply stops renewing: any other party
+  calling :meth:`TaskQueue.requeue_expired` puts the job back in the
+  queue.  Attempts are counted at claim time; a job whose lease expires
+  after ``max_attempts`` claims is FAILED with a reason instead of
+  looping forever.
+* **Exactly-once completion** — ``complete``/``fail`` only apply while
+  the caller still holds the lease (``state='running' AND worker=?``),
+  so a worker that lost its lease to an expiry-requeue cannot overwrite
+  the retry's verdict: at most one completion wins.
+* **Backpressure** — ``submit`` rejects once ``max_pending`` jobs are
+  queued, raising :class:`~repro.errors.QueueFullError` with a
+  ``retry_after`` hint.
+* **Cancellation** — ``cancel`` flips a flag the worker polls between
+  engine races; a still-queued job is cancelled immediately.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+from repro.errors import ModelCheckingError, QueueFullError, ServiceError
+from repro.svc.store import Store
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+@dataclass
+class Job:
+    """One row of the job table, as plain data."""
+
+    job_id: int
+    namespace: str
+    name: str | None
+    netlist_text: str
+    fmt: str
+    method: str
+    max_depth: int
+    timeout: float | None
+    priority: int
+    state: JobState
+    attempts: int
+    max_attempts: int
+    worker: str | None
+    lease_expires: float | None
+    cancel_requested: bool
+    reason: str | None
+    result: dict | None
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+
+    @classmethod
+    def from_row(cls, row) -> "Job":
+        return cls(
+            job_id=row["job_id"],
+            namespace=row["namespace"],
+            name=row["name"],
+            netlist_text=row["netlist"],
+            fmt=row["fmt"],
+            method=row["method"],
+            max_depth=row["max_depth"],
+            timeout=row["timeout"],
+            priority=row["priority"],
+            state=JobState(row["state"]),
+            attempts=row["attempts"],
+            max_attempts=row["max_attempts"],
+            worker=row["worker"],
+            lease_expires=row["lease_expires"],
+            cancel_requested=bool(row["cancel_requested"]),
+            reason=row["reason"],
+            result=(
+                json.loads(row["result"]) if row["result"] is not None else None
+            ),
+            submitted_at=row["submitted_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-shaped status record (the ``/jobs`` wire format)."""
+        return {
+            "job_id": self.job_id,
+            "namespace": self.namespace,
+            "name": self.name,
+            "method": self.method,
+            "max_depth": self.max_depth,
+            "timeout": self.timeout,
+            "priority": self.priority,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "worker": self.worker,
+            "cancel_requested": self.cancel_requested,
+            "reason": self.reason,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "verdict": (
+                self.result.get("status") if self.result is not None else None
+            ),
+        }
+
+
+_JOB_COLUMNS = "*"
+
+
+class TaskQueue:
+    """The queue facade over a :class:`~repro.svc.store.Store`."""
+
+    def __init__(
+        self,
+        store: Store,
+        *,
+        max_pending: int = 1024,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        retry_after: float = 2.0,
+    ) -> None:
+        self.store = store
+        self.max_pending = max_pending
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.retry_after = retry_after
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        netlist_text: str,
+        *,
+        fmt: str = "net",
+        method: str = "portfolio",
+        max_depth: int = 100,
+        timeout: float | None = None,
+        priority: int = 0,
+        namespace: str = "",
+        name: str | None = None,
+        max_attempts: int | None = None,
+    ) -> int:
+        """Enqueue one submission; returns its job id.
+
+        The engine name is validated against the registry up front — a
+        typo fails the submit, not a worker an hour later.
+        """
+        from repro.api.registry import get_engine
+
+        get_engine(method)  # raises ModelCheckingError on unknown names
+        if fmt not in ("net", "bench", "blif"):
+            raise ServiceError(
+                f"unknown netlist format {fmt!r}; use net/bench/blif"
+            )
+        with self.store.transaction() as conn:
+            depth = conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state=?",
+                (JobState.QUEUED.value,),
+            ).fetchone()[0]
+            if depth >= self.max_pending:
+                raise QueueFullError(depth, self.max_pending, self.retry_after)
+            cursor = conn.execute(
+                """
+                INSERT INTO jobs (namespace, name, netlist, fmt, method,
+                                  max_depth, timeout, priority, state,
+                                  max_attempts, submitted_at)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    namespace,
+                    name,
+                    netlist_text,
+                    fmt,
+                    method,
+                    int(max_depth),
+                    timeout,
+                    int(priority),
+                    JobState.QUEUED.value,
+                    max_attempts
+                    if max_attempts is not None
+                    else self.max_attempts,
+                    self.store.now(),
+                ),
+            )
+            job_id = cursor.lastrowid
+        self.record_event(job_id, "submitted", {"method": method})
+        return job_id
+
+    # ------------------------------------------------------------------ #
+    # Claiming and leases
+    # ------------------------------------------------------------------ #
+
+    def claim(
+        self, worker_id: str, lease_seconds: float | None = None
+    ) -> Job | None:
+        """Atomically claim the best queued job for ``worker_id``.
+
+        Best = highest priority, then FIFO.  Returns None when the
+        queue is empty.  The attempt counter increments here: an
+        attempt is a claim, whether or not it survives.
+        """
+        lease = lease_seconds if lease_seconds is not None else (
+            self.lease_seconds
+        )
+        now = self.store.now()
+        with self.store.transaction() as conn:
+            row = conn.execute(
+                """
+                SELECT job_id FROM jobs WHERE state=?
+                ORDER BY priority DESC, job_id ASC LIMIT 1
+                """,
+                (JobState.QUEUED.value,),
+            ).fetchone()
+            if row is None:
+                return None
+            job_id = row["job_id"]
+            conn.execute(
+                """
+                UPDATE jobs
+                SET state=?, worker=?, lease_expires=?,
+                    attempts=attempts + 1, started_at=?
+                WHERE job_id=? AND state=?
+                """,
+                (
+                    JobState.RUNNING.value,
+                    worker_id,
+                    now + lease,
+                    now,
+                    job_id,
+                    JobState.QUEUED.value,
+                ),
+            )
+            job = Job.from_row(
+                conn.execute(
+                    "SELECT * FROM jobs WHERE job_id=?", (job_id,)
+                ).fetchone()
+            )
+        self.record_event(job_id, "claimed", {"worker": worker_id,
+                                              "attempt": job.attempts})
+        return job
+
+    def heartbeat(
+        self,
+        job_id: int,
+        worker_id: str,
+        lease_seconds: float | None = None,
+    ) -> bool:
+        """Renew the lease; False means it was lost (expired + requeued)."""
+        lease = lease_seconds if lease_seconds is not None else (
+            self.lease_seconds
+        )
+        with self.store.transaction() as conn:
+            cursor = conn.execute(
+                """
+                UPDATE jobs SET lease_expires=?
+                WHERE job_id=? AND worker=? AND state=?
+                """,
+                (
+                    self.store.now() + lease,
+                    job_id,
+                    worker_id,
+                    JobState.RUNNING.value,
+                ),
+            )
+            return cursor.rowcount == 1
+
+    def requeue_expired(self, now: float | None = None) -> list[tuple[int, str]]:
+        """Requeue running jobs whose lease has lapsed.
+
+        Anyone may call this — workers do, between claims, so a fleet
+        is self-healing without a dedicated reaper.  Returns
+        ``(job_id, "requeued"|"failed")`` pairs for what changed; a job
+        out of attempts fails with an explanatory reason.
+        """
+        now = self.store.now() if now is None else now
+        changed: list[tuple[int, str]] = []
+        with self.store.transaction() as conn:
+            rows = conn.execute(
+                """
+                SELECT job_id, attempts, max_attempts, worker FROM jobs
+                WHERE state=? AND lease_expires IS NOT NULL
+                  AND lease_expires < ?
+                """,
+                (JobState.RUNNING.value, now),
+            ).fetchall()
+            for row in rows:
+                if row["attempts"] >= row["max_attempts"]:
+                    conn.execute(
+                        """
+                        UPDATE jobs SET state=?, worker=NULL,
+                            lease_expires=NULL, finished_at=?, reason=?
+                        WHERE job_id=? AND state=?
+                        """,
+                        (
+                            JobState.FAILED.value,
+                            now,
+                            f"lease expired after {row['attempts']} "
+                            f"attempts (last worker {row['worker']})",
+                            row["job_id"],
+                            JobState.RUNNING.value,
+                        ),
+                    )
+                    changed.append((row["job_id"], "failed"))
+                else:
+                    conn.execute(
+                        """
+                        UPDATE jobs SET state=?, worker=NULL,
+                            lease_expires=NULL
+                        WHERE job_id=? AND state=?
+                        """,
+                        (
+                            JobState.QUEUED.value,
+                            row["job_id"],
+                            JobState.RUNNING.value,
+                        ),
+                    )
+                    changed.append((row["job_id"], "requeued"))
+        for job_id, outcome in changed:
+            self.record_event(job_id, outcome, {"at": now})
+        return changed
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+
+    def complete(
+        self,
+        job_id: int,
+        worker_id: str,
+        result_payload: dict,
+        *,
+        state: JobState = JobState.DONE,
+        reason: str | None = None,
+    ) -> bool:
+        """Finish a job the caller still holds; False if the lease was
+        lost (the verdict is discarded — the retry owns the job now)."""
+        if not state.terminal:
+            raise ServiceError(f"completion state {state} is not terminal")
+        with self.store.transaction() as conn:
+            cursor = conn.execute(
+                """
+                UPDATE jobs SET state=?, result=?, reason=?,
+                    lease_expires=NULL, finished_at=?
+                WHERE job_id=? AND worker=? AND state=?
+                """,
+                (
+                    state.value,
+                    json.dumps(result_payload),
+                    reason,
+                    self.store.now(),
+                    job_id,
+                    worker_id,
+                    JobState.RUNNING.value,
+                ),
+            )
+            won = cursor.rowcount == 1
+        if won:
+            self.record_event(
+                job_id,
+                "job_finished",
+                {"state": state.value,
+                 "verdict": result_payload.get("status")},
+            )
+        return won
+
+    def fail(self, job_id: int, worker_id: str, reason: str) -> bool:
+        """Mark a held job FAILED with a reason (engine error, bad input)."""
+        with self.store.transaction() as conn:
+            cursor = conn.execute(
+                """
+                UPDATE jobs SET state=?, reason=?, lease_expires=NULL,
+                    finished_at=?
+                WHERE job_id=? AND worker=? AND state=?
+                """,
+                (
+                    JobState.FAILED.value,
+                    reason,
+                    self.store.now(),
+                    job_id,
+                    worker_id,
+                    JobState.RUNNING.value,
+                ),
+            )
+            won = cursor.rowcount == 1
+        if won:
+            self.record_event(job_id, "job_finished",
+                              {"state": "failed", "reason": reason})
+        return won
+
+    def cancel(self, job_id: int) -> bool:
+        """Request cancellation.  A queued job dies immediately; a
+        running one is flagged for its worker to notice between engine
+        races.  True iff the job exists and was not already terminal."""
+        with self.store.transaction() as conn:
+            row = conn.execute(
+                "SELECT state FROM jobs WHERE job_id=?", (job_id,)
+            ).fetchone()
+            if row is None or JobState(row["state"]).terminal:
+                return False
+            conn.execute(
+                "UPDATE jobs SET cancel_requested=1 WHERE job_id=?",
+                (job_id,),
+            )
+            if row["state"] == JobState.QUEUED.value:
+                conn.execute(
+                    """
+                    UPDATE jobs SET state=?, reason=?, finished_at=?
+                    WHERE job_id=? AND state=?
+                    """,
+                    (
+                        JobState.CANCELLED.value,
+                        "cancelled before start",
+                        self.store.now(),
+                        job_id,
+                        JobState.QUEUED.value,
+                    ),
+                )
+        self.record_event(job_id, "cancel_requested", None)
+        return True
+
+    def cancel_requested(self, job_id: int) -> bool:
+        row = self.store._connection().execute(
+            "SELECT cancel_requested FROM jobs WHERE job_id=?", (job_id,)
+        ).fetchone()
+        return bool(row["cancel_requested"]) if row is not None else False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def job(self, job_id: int) -> Job | None:
+        row = self.store._connection().execute(
+            "SELECT * FROM jobs WHERE job_id=?", (job_id,)
+        ).fetchone()
+        return Job.from_row(row) if row is not None else None
+
+    def jobs(
+        self,
+        *,
+        namespace: str | None = None,
+        state: JobState | str | None = None,
+    ) -> list[Job]:
+        sql = "SELECT * FROM jobs"
+        clauses, args = [], []
+        if namespace is not None:
+            clauses.append("namespace=?")
+            args.append(namespace)
+        if state is not None:
+            state = JobState(state) if isinstance(state, str) else state
+            clauses.append("state=?")
+            args.append(state.value)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY job_id ASC"
+        rows = self.store._connection().execute(sql, args).fetchall()
+        return [Job.from_row(row) for row in rows]
+
+    def depth(self) -> int:
+        """Queued (claimable) jobs right now."""
+        return self.store._connection().execute(
+            "SELECT COUNT(*) FROM jobs WHERE state=?",
+            (JobState.QUEUED.value,),
+        ).fetchone()[0]
+
+    def active_leases(self) -> int:
+        return self.store._connection().execute(
+            "SELECT COUNT(*) FROM jobs WHERE state=?",
+            (JobState.RUNNING.value,),
+        ).fetchone()[0]
+
+    def counts(self) -> dict[str, int]:
+        rows = self.store._connection().execute(
+            "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+        ).fetchall()
+        counts = {state.value: 0 for state in JobState}
+        for row in rows:
+            counts[row["state"]] = row["n"]
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Events
+    # ------------------------------------------------------------------ #
+
+    def record_event(
+        self, job_id: int, kind: str, payload: dict | None
+    ) -> None:
+        """Append one event to the job's stream (monotonic ``seq``)."""
+        with self.store.transaction() as conn:
+            seq = conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM job_events "
+                "WHERE job_id=?",
+                (job_id,),
+            ).fetchone()[0]
+            conn.execute(
+                "INSERT INTO job_events (job_id, seq, t, kind, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    seq,
+                    self.store.now(),
+                    kind,
+                    json.dumps(payload) if payload is not None else None,
+                ),
+            )
+
+    def events(self, job_id: int) -> list[dict]:
+        rows = self.store._connection().execute(
+            "SELECT seq, t, kind, payload FROM job_events "
+            "WHERE job_id=? ORDER BY seq ASC",
+            (job_id,),
+        ).fetchall()
+        return [
+            {
+                "seq": row["seq"],
+                "t": row["t"],
+                "kind": row["kind"],
+                "payload": (
+                    json.loads(row["payload"])
+                    if row["payload"] is not None
+                    else None
+                ),
+            }
+            for row in rows
+        ]
+
+
+__all__ = [
+    "Job",
+    "JobState",
+    "ModelCheckingError",
+    "QueueFullError",
+    "TaskQueue",
+]

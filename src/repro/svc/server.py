@@ -1,0 +1,313 @@
+"""HTTP JSON front for the verification service.
+
+A thread-per-request ``http.server`` API over one store — no runtime
+dependencies beyond the stdlib.  Endpoints:
+
+=============================  ==========================================
+``POST /submit``               enqueue ``{netlist, format, method,
+                               max_depth, timeout, priority, namespace,
+                               name}`` → ``{job_id}``; 400 on an unknown
+                               engine/format, 429 + ``retry_after`` when
+                               the queue is full (backpressure)
+``GET  /jobs``                 job table (``?state=``/``?namespace=``
+                               filters)
+``GET  /jobs/<id>``            one job's status record
+``GET  /jobs/<id>/result``     the verdict payload (404 until terminal)
+``GET  /jobs/<id>/events``     the job's progress-event stream
+``POST /jobs/<id>/cancel``     request cancellation
+``GET  /healthz``              liveness + queue depth, active leases,
+                               store schema version
+``GET  /metrics``              queue/lease/state-count/store gauges
+``GET  /engines``              the engine registry
+                               (:func:`repro.api.registry.engine_catalog`)
+                               so clients validate ``method`` without
+                               importing anything
+=============================  ==========================================
+
+:class:`VerificationServer` bundles the HTTP thread with an optional
+in-host worker fleet: ``workers=N`` starts ``N`` worker *processes*
+(crash-isolated, each with its own store connection) or, with
+``worker_processes=False``, daemon threads sharing this process (handy
+for tests and the in-process demo).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import pathlib
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ModelCheckingError, QueueFullError, ServiceError
+from repro.svc.queue import TaskQueue
+from repro.svc.store import Store
+from repro.svc.worker import Worker, worker_main
+
+_JOB_PATH = re.compile(r"^/jobs/(\d+)(/result|/events|/cancel)?$")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the owning server's queue/store."""
+
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a service smoke
+    # test drowning in access lines helps nobody.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> "VerificationServer":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", "0"))
+        if length <= 0:
+            return {}
+        return json.loads(self.rfile.read(length).decode())
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            path, _, query = self.path.partition("?")
+            if path == "/healthz":
+                return self._send(200, self.service.health())
+            if path == "/metrics":
+                return self._send(200, self.service.metrics())
+            if path == "/engines":
+                from repro.api.registry import engine_catalog
+
+                return self._send(200, {"engines": engine_catalog()})
+            if path == "/jobs":
+                filters = dict(
+                    pair.split("=", 1)
+                    for pair in query.split("&")
+                    if "=" in pair
+                )
+                jobs = self.service.queue.jobs(
+                    namespace=filters.get("namespace"),
+                    state=filters.get("state"),
+                )
+                return self._send(
+                    200, {"jobs": [job.to_dict() for job in jobs]}
+                )
+            match = _JOB_PATH.match(path)
+            if match is not None and match.group(2) in (None, "/result",
+                                                        "/events"):
+                job_id = int(match.group(1))
+                job = self.service.queue.job(job_id)
+                if job is None:
+                    return self._send(404, {"error": "no such job"})
+                if match.group(2) == "/result":
+                    if job.result is None:
+                        return self._send(
+                            404,
+                            {"error": "no result yet",
+                             "state": job.state.value},
+                        )
+                    return self._send(
+                        200,
+                        {"job_id": job_id, "state": job.state.value,
+                         "result": job.result},
+                    )
+                if match.group(2) == "/events":
+                    return self._send(
+                        200,
+                        {"job_id": job_id,
+                         "events": self.service.queue.events(job_id)},
+                    )
+                return self._send(200, job.to_dict())
+            return self._send(404, {"error": f"unknown path {path!r}"})
+        except Exception as exc:  # noqa: BLE001 - report, don't kill thread
+            return self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/submit":
+                return self._submit()
+            match = _JOB_PATH.match(self.path)
+            if match is not None and match.group(2) == "/cancel":
+                cancelled = self.service.queue.cancel(int(match.group(1)))
+                return self._send(200, {"cancelled": cancelled})
+            return self._send(404, {"error": f"unknown path {self.path!r}"})
+        except json.JSONDecodeError as exc:
+            return self._send(400, {"error": f"bad JSON: {exc}"})
+        except Exception as exc:  # noqa: BLE001 - report, don't kill thread
+            return self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _submit(self) -> None:
+        body = self._read_json()
+        netlist = body.get("netlist")
+        if not isinstance(netlist, str) or not netlist.strip():
+            return self._send(
+                400, {"error": "submission needs a 'netlist' text field"}
+            )
+        try:
+            job_id = self.service.queue.submit(
+                netlist,
+                fmt=body.get("format", "net"),
+                method=body.get("method", "portfolio"),
+                max_depth=int(body.get("max_depth", 100)),
+                timeout=(
+                    float(body["timeout"])
+                    if body.get("timeout") is not None
+                    else None
+                ),
+                priority=int(body.get("priority", 0)),
+                namespace=str(body.get("namespace", "")),
+                name=body.get("name"),
+            )
+        except QueueFullError as exc:
+            return self._send(
+                429, {"error": str(exc), "retry_after": exc.retry_after}
+            )
+        except (ModelCheckingError, ServiceError, ValueError) as exc:
+            return self._send(400, {"error": str(exc)})
+        return self._send(200, {"job_id": job_id})
+
+
+class VerificationServer:
+    """The service bundle: store + queue + HTTP front + worker fleet."""
+
+    def __init__(
+        self,
+        store_path: str | pathlib.Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int = 1024,
+        lease_seconds: float = 30.0,
+        workers: int = 0,
+        worker_processes: bool = True,
+        worker_poll: float = 0.2,
+    ) -> None:
+        self.store_path = pathlib.Path(store_path)
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.lease_seconds = lease_seconds
+        self.num_workers = workers
+        self.worker_processes = worker_processes
+        self.worker_poll = worker_poll
+        self.store: Store | None = None
+        self.queue: TaskQueue | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._workers: list = []
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> tuple[str, int]:
+        """Open the store, bind the socket, launch workers; returns the
+        bound ``(host, port)`` (``port=0`` picks a free one)."""
+        self.store = Store(self.store_path)
+        self.queue = TaskQueue(
+            self.store,
+            max_pending=self.max_pending,
+            lease_seconds=self.lease_seconds,
+        )
+        self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self.port = self._httpd.server_address[1]
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._http_thread.start()
+        for index in range(self.num_workers):
+            if self.worker_processes:
+                process = multiprocessing.get_context("fork").Process(
+                    target=worker_main,
+                    args=(str(self.store_path),),
+                    kwargs={
+                        "worker_id": f"serve-{index}",
+                        "lease_seconds": self.lease_seconds,
+                        "poll_interval": self.worker_poll,
+                    },
+                    daemon=True,
+                )
+                process.start()
+                self._workers.append(process)
+            else:
+                worker = Worker(
+                    self.store,
+                    worker_id=f"serve-{index}",
+                    lease_seconds=self.lease_seconds,
+                    poll_interval=self.worker_poll,
+                )
+                thread = threading.Thread(
+                    target=worker.run,
+                    kwargs={"stop": self._stop},
+                    daemon=True,
+                )
+                thread.start()
+                self._workers.append(thread)
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        for worker in self._workers:
+            if isinstance(worker, threading.Thread):
+                worker.join(timeout=2.0)
+            else:
+                worker.terminate()
+                worker.join(timeout=2.0)
+        self._workers.clear()
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "VerificationServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    # Introspection payloads
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> dict:
+        from repro.api.registry import engine_names
+
+        return {
+            "ok": True,
+            "schema_version": self.store.schema_version,
+            "queue_depth": self.queue.depth(),
+            "active_leases": self.queue.active_leases(),
+            "workers": len(self._workers),
+            "engines": list(engine_names()),
+        }
+
+    def metrics(self) -> dict:
+        counts = self.queue.counts()
+        return {
+            "queue_depth": self.queue.depth(),
+            "active_leases": self.queue.active_leases(),
+            "jobs": counts,
+            "results": self.store.count_results(),
+            "certificates": self.store.count_certificates(),
+        }

@@ -374,3 +374,90 @@ class TestMinimizeFlag:
         out = capsys.readouterr().out
         assert "minimized:" in out
         assert "matter" in out
+
+
+class TestEnginesJson:
+    # Satellite: `repro engines --json` is the machine-readable registry
+    # remote clients (and the service's /engines endpoint) rely on, so
+    # its schema is pinned here.
+    CAPABILITY_KEYS = {
+        "produces_trace", "complete", "supports_constraints",
+        "quick", "composite", "variant_of",
+    }
+
+    def test_json_registry_schema(self, capsys):
+        import json
+
+        from repro.api.registry import engine_names
+
+        assert main(["engines", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        catalog = {entry["name"]: entry for entry in payload["engines"]}
+        assert set(catalog) == set(engine_names())
+        for entry in catalog.values():
+            assert set(entry) == {
+                "name", "summary", "direction", "depth_field",
+                "capabilities", "options",
+            }
+            assert set(entry["capabilities"]) == self.CAPABILITY_KEYS
+            assert entry["direction"] in ("backward", "forward", "any")
+            assert isinstance(entry["options"], list)
+        assert catalog["bmc"]["capabilities"]["complete"] is False
+        assert catalog["portfolio"]["capabilities"]["composite"] is True
+        assert (
+            catalog["reach_aig_allsat"]["capabilities"]["variant_of"]
+            == "reach_aig"
+        )
+        assert "max_depth" in catalog["bmc"]["options"]
+
+
+class TestServiceCLI:
+    def test_submit_wait_proves_offline(
+        self, handshake_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "svc.sqlite")
+        code = main(
+            ["submit", handshake_file, "--store", store,
+             "--method", "pdr", "--wait"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "submitted" in out
+        assert '"verdict": "proved"' in out
+
+    def test_submit_wait_failed_property_exit_one(
+        self, buggy_file, tmp_path, capsys
+    ):
+        store = str(tmp_path / "svc.sqlite")
+        code = main(
+            ["submit", buggy_file, "--store", store,
+             "--method", "bmc", "--wait"]
+        )
+        assert code == 1
+        assert '"verdict": "failed"' in capsys.readouterr().out
+
+    def test_submit_without_property_is_usage_error(
+        self, s27_bench, tmp_path, capsys
+    ):
+        code = main(
+            ["submit", s27_bench, "--store", str(tmp_path / "s.sqlite")]
+        )
+        assert code == 2
+        assert "property" in capsys.readouterr().err
+
+    def test_jobs_table_and_json(self, handshake_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "svc.sqlite")
+        main(["submit", handshake_file, "--store", store,
+              "--method", "pdr", "--name", "ok", "--wait"])
+        capsys.readouterr()
+        assert main(["jobs", "--store", store]) == 0
+        table = capsys.readouterr().out
+        assert "done" in table and "proved" in table and "ok" in table
+        assert main(["jobs", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"][0]["state"] == "done"
+        assert payload["jobs"][0]["verdict"] == "proved"
+        assert main(["jobs", "--store", store, "--state", "failed"]) == 0
+        assert "no jobs" in capsys.readouterr().out
