@@ -412,6 +412,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         lease_seconds=args.lease,
         max_pending=args.max_pending,
+        trace_jobs=args.trace_jobs,
     )
     import signal
     import threading
@@ -494,8 +495,94 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return {"proved": 0, "failed": 1}.get(verdict, 3)
 
 
+def _follow_job(base_url: str, job_id: int, on_event) -> dict:
+    """Consume a job's SSE stream until its terminal ``end`` event.
+
+    Calls ``on_event(kind, event_dict)`` per persisted event; returns
+    the ``end`` event's data.  A dropped connection (worker churn,
+    proxy timeout) reconnects with ``Last-Event-ID``, so no events are
+    missed and none repeat.
+    """
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    last_seq = 0
+    while True:
+        request = urllib.request.Request(
+            f"{base_url}/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream",
+                     "Last-Event-ID": str(last_seq)},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=60)
+        except urllib.error.HTTPError as exc:
+            raise ReproError(
+                f"service returned {exc.code} for job {job_id}"
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ReproError(
+                f"cannot reach service at {base_url}: {exc.reason}"
+            ) from None
+        try:
+            event_name: str | None = None
+            event_id: str | None = None
+            data_lines: list[str] = []
+            for raw in response:
+                line = raw.decode().rstrip("\r\n")
+                if line == "":
+                    if data_lines:
+                        data = json.loads("\n".join(data_lines))
+                        if event_id is not None:
+                            last_seq = int(event_id)
+                        if event_name == "end":
+                            return data
+                        on_event(event_name or "message", data)
+                    event_name, event_id, data_lines = None, None, []
+                    continue
+                if line.startswith(":"):
+                    continue  # keepalive comment
+                field, _, value = line.partition(":")
+                if value.startswith(" "):
+                    value = value[1:]
+                if field == "event":
+                    event_name = value
+                elif field == "id":
+                    event_id = value
+                elif field == "data":
+                    data_lines.append(value)
+        except (ConnectionError, TimeoutError, OSError):
+            pass  # stream died mid-read; resume from last_seq
+        finally:
+            response.close()
+        time.sleep(0.5)
+
+
 def _cmd_jobs(args: argparse.Namespace) -> int:
     import json
+
+    if getattr(args, "follow", None) is not None:
+        if args.url is None:
+            print("error: --follow needs --url (SSE is served over HTTP)",
+                  file=sys.stderr)
+            return 2
+
+        def on_event(kind: str, event: dict) -> None:
+            payload = event.get("payload")
+            detail = json.dumps(payload) if payload else ""
+            print(f"[{event.get('seq', '?'):>4}] {kind:<18}{detail}")
+
+        end = _follow_job(args.url.rstrip("/"), args.follow, on_event)
+        print(f"job {args.follow} {end.get('state')}"
+              + (f" ({end.get('verdict')})" if end.get("verdict") else ""))
+        if end.get("state") == "failed":
+            if end.get("reason"):
+                print(f"error: {end['reason']}", file=sys.stderr)
+            return 2
+        if end.get("state") == "cancelled":
+            return 3
+        return {"proved": 0, "failed": 1}.get(end.get("verdict"), 3)
 
     if args.url is not None:
         query = f"?state={args.state}" if args.state else ""
@@ -523,6 +610,76 @@ def _cmd_jobs(args: argparse.Namespace) -> int:
             f"{record['attempts']:>3}  {record.get('name') or ''}"
         )
     return 0
+
+
+def _render_top(doc: dict) -> str:
+    """One ``repro top`` frame out of the ``/metrics`` JSON document."""
+    from repro.obs.metrics import histogram_quantile
+
+    families = doc.get("metrics", {})
+    jobs = doc.get("jobs", {})
+    lines = [
+        f"queue depth {doc.get('queue_depth', 0)}    "
+        f"active leases {doc.get('active_leases', 0)}    "
+        f"sse streams {doc.get('sse_streams', 0)}",
+        "jobs  " + "  ".join(
+            f"{state}={jobs.get(state, 0)}"
+            for state in ("queued", "running", "done", "failed", "cancelled")
+        ),
+        f"store  results {doc.get('results', 0)}  "
+        f"certificates {doc.get('certificates', 0)}  "
+        f"traces {doc.get('traces', 0)}",
+    ]
+    wins = families.get("repro_jobs_won_total", {}).get("samples", [])
+    if wins:
+        lines.append("")
+        lines.append(f"{'method':<14}{'verdict':<12}{'jobs':>6}")
+        for sample in wins:
+            labels = sample.get("labels", {})
+            lines.append(
+                f"{labels.get('method', '?'):<14}"
+                f"{labels.get('verdict', '?'):<12}"
+                f"{int(sample.get('value', 0)):>6}"
+            )
+    latency = families.get("repro_job_latency_seconds", {}).get("samples", [])
+    if latency:
+        lines.append("")
+        lines.append(
+            f"{'method':<14}{'runs':>6}{'mean':>10}{'p50':>10}{'p95':>10}"
+        )
+        for sample in latency:
+            labels = sample.get("labels", {})
+            buckets = sample.get("buckets", [])
+            count = sample.get("count", 0)
+            mean = sample.get("sum", 0.0) / count if count else 0.0
+            lines.append(
+                f"{labels.get('method', '?'):<14}{count:>6}"
+                f"{mean * 1000:>8.1f}ms"
+                f"{histogram_quantile(0.5, buckets) * 1000:>8.1f}ms"
+                f"{histogram_quantile(0.95, buckets) * 1000:>8.1f}ms"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    base = args.url.rstrip("/")
+    frames = 0
+    while True:
+        doc = _http_json(f"{base}/metrics")
+        if args.iterations != 1:
+            # Clear and home between frames; a single frame prints plain
+            # (scripts and CI grep it).
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_top(doc))
+        frames += 1
+        if args.iterations and frames >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 # ---------------------------------------------------------------------- #
@@ -728,6 +885,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="queued-job bound; past it, submits are rejected with "
         "retry-after (backpressure)",
     )
+    p_serve.add_argument(
+        "--trace-jobs", action="store_true",
+        help="workers record an obs trace per job, stored "
+        "content-addressed and served at GET /jobs/<id>/trace",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_submit = sub.add_parser(
@@ -773,7 +935,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "cancelled"],
     )
     p_jobs.add_argument("--json", action="store_true")
+    p_jobs.add_argument(
+        "--follow", type=int, metavar="JOB_ID",
+        help="stream one job's events live over SSE (needs --url); "
+        "exits on the terminal event like 'repro submit --wait'",
+    )
     p_jobs.set_defaults(func=_cmd_jobs)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live fleet telemetry: queue depth, leases, per-engine "
+        "wins and latency quantiles from a service's /metrics",
+    )
+    p_top.add_argument("--url", required=True, help="service base URL")
+    p_top.add_argument("--interval", type=float, default=2.0)
+    p_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="frames to render (0 = until interrupted; 1 prints a "
+        "single plain frame without clearing the screen)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_atpg = sub.add_parser(
         "atpg", help="stuck-at fault campaign on the output cones"

@@ -10,8 +10,13 @@ The observability layer every engine reports into:
   cost is one predicted branch (search trajectories are bit-identical
   with tracing on or off);
 * :class:`RunReport` (:mod:`repro.obs.report`) — the post-run
-  aggregation: engine timeline, per-phase breakdown, peak gauges; both
-  human-readable (``render()``) and machine-readable (``to_dict()``).
+  aggregation: engine timeline, per-phase breakdown, peak gauges and
+  p50/p95 series quantiles; both human-readable (``render()``) and
+  machine-readable (``to_dict()``);
+* :mod:`repro.obs.metrics` — the process-wide labeled metrics registry
+  (counters, gauges, fixed-bucket histograms) behind the verification
+  service's ``/metrics`` endpoint, exposed as JSON and Prometheus text
+  exposition, guarded by the same ``ENABLED``-flag discipline.
 
 Typical use::
 
@@ -35,7 +40,7 @@ the runner pipe and are merged into the parent's timeline.
 
 from __future__ import annotations
 
-from repro.obs import probes
+from repro.obs import metrics, probes
 from repro.obs.report import RunReport, build_report
 from repro.obs.trace import (
     NULL_SPAN,
@@ -54,6 +59,7 @@ __all__ = [
     "disable",
     "enable",
     "is_enabled",
+    "metrics",
     "sample",
     "span",
 ]

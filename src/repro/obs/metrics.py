@@ -1,0 +1,682 @@
+"""Process-wide labeled metrics: counters, gauges and histograms.
+
+This is the service-side complement to the span/sample tracing in
+:mod:`repro.obs.trace`: where a trace answers "what did *this run* do",
+the metrics registry answers "what is the *fleet* doing right now" —
+queue depth, claim/complete rates, latency distributions — in a shape a
+Prometheus scraper (or ``repro top``) can consume.
+
+The registry follows the same discipline as :mod:`repro.obs.probes`:
+
+* a module-level :data:`ENABLED` flag guards every instrumentation
+  site (``if _met.ENABLED: _met.JOBS_CLAIMED.labels(m).inc()``), so the
+  disabled cost in a hot loop is one attribute load and a predicted
+  branch, and queue/engine behaviour is bit-identical either way
+  (instruments only *read* timestamps and add to private tallies);
+* the *enabled* hot path allocates nothing per sample: labeled children
+  are created once and cached by label tuple, histogram buckets are a
+  fixed ``bisect`` over precomputed bounds into preallocated slots.
+
+Three metric kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing totals
+  (``repro_jobs_claimed_total{method="pdr"}``);
+* :class:`Gauge` — set-to-current values, optionally backed by a
+  callable evaluated at collect time (``repro_queue_depth``);
+* :class:`Histogram` — fixed-boundary bucket counts plus sum/count,
+  exported cumulatively the way Prometheus expects
+  (``repro_job_run_seconds_bucket{le="0.5"}``).
+
+One :class:`MetricsRegistry` (:data:`REGISTRY`) is process-wide; the
+verification server additionally registers *collectors* — callables
+producing family snapshots computed from the durable store at scrape
+time, so fleet-wide truths (jobs by state, per-engine win counts,
+latency quantiles) are correct even when the work happened in worker
+processes that do not share this process's in-memory tallies.
+
+Exposition: :meth:`MetricsRegistry.to_json` (the ``/metrics`` JSON
+variant and what ``repro top`` consumes) and
+:meth:`MetricsRegistry.to_prometheus` (text exposition format 0.0.4,
+``# HELP``/``# TYPE`` comments, escaped label values) — both built from
+the same :meth:`~MetricsRegistry.collect` snapshot, so the two formats
+always agree.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Sequence
+
+# Rebound by enable()/disable(); instrumented code reads it through the
+# module (``metrics.ENABLED``) exactly like ``probes.ENABLED``.
+ENABLED = False
+
+# Latency buckets (seconds) for job-level histograms: sub-millisecond
+# store operations up to minute-long engine runs.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+# Tighter buckets for per-call kernel timings (individual SAT solves,
+# store transactions).
+FAST_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-friendly number formatting (ints stay integral)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _label_pairs(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + inner + "}"
+
+
+# ---------------------------------------------------------------------- #
+# Children: one labeled time series each
+# ---------------------------------------------------------------------- #
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Evaluate ``fn`` at collect time instead of a stored value."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "counts", "sum", "count")
+
+    def __init__(
+        self, lock: threading.Lock, bounds: tuple[float, ...]
+    ) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Families
+# ---------------------------------------------------------------------- #
+
+
+class MetricFamily:
+    """One named metric and all of its labeled children."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # Label-less families always expose their (single) series,
+            # zero included — a scraper should see the metric exists.
+            self._children[()] = self._make_child()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, *values: object) -> object:
+        """The child for one label-value tuple (created once, cached)."""
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {len(key)} values"
+            )
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    # Label-less convenience: family.inc()/set()/observe() act on the
+    # single unlabeled child.
+    def _solo(self):
+        return self.labels()
+
+    def snapshot(self) -> dict:
+        """JSON-shaped family snapshot (the collect() unit)."""
+        raise NotImplementedError
+
+
+class Counter(MetricFamily):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._lock)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "value": child.value,
+                }
+                for key, child in sorted(self._children.items())
+            ],
+        }
+
+
+class Gauge(MetricFamily):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._lock)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self._solo().set_function(fn)
+
+    snapshot = Counter.snapshot
+
+
+class Histogram(MetricFamily):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValueError("buckets must be strictly increasing")
+        if bounds[-1] == math.inf:
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.bounds = bounds
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._lock, self.bounds)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def snapshot(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                {
+                    "labels": dict(zip(self.labelnames, key)),
+                    "buckets": [
+                        [le, count]
+                        for le, count in child.cumulative_buckets()
+                    ],
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+                for key, child in sorted(self._children.items())
+            ],
+        }
+
+
+def histogram_family(
+    name: str,
+    help: str,
+    labeled_values: Iterable[tuple[dict, Iterable[float]]],
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+) -> dict:
+    """Build a histogram family *snapshot* from raw values.
+
+    Collectors use this to expose distributions computed from durable
+    state at scrape time (e.g. job latencies out of the store) in the
+    exact shape :meth:`Histogram.snapshot` produces.
+    """
+    family = Histogram(name, help, labelnames=("__tmp__",), buckets=buckets)
+    samples = []
+    for labels, values in labeled_values:
+        child = _HistogramChild(family._lock, family.bounds)
+        for value in values:
+            child.observe(float(value))
+        samples.append(
+            {
+                "labels": dict(labels),
+                "buckets": [
+                    [le, count] for le, count in child.cumulative_buckets()
+                ],
+                "sum": child.sum,
+                "count": child.count,
+            }
+        )
+    return {"name": name, "type": "histogram", "help": help,
+            "samples": samples}
+
+
+# ---------------------------------------------------------------------- #
+# Quantiles
+# ---------------------------------------------------------------------- #
+
+
+def histogram_quantile(
+    q: float, buckets: Sequence[Sequence[float]]
+) -> float:
+    """Estimate the ``q``-quantile from cumulative ``(le, count)`` pairs.
+
+    Linear interpolation inside the landing bucket, the same estimator
+    Prometheus's ``histogram_quantile`` uses; the ``+Inf`` bucket
+    reports its lower bound (there is nothing to interpolate towards).
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    prev_le, prev_count = 0.0, 0
+    for le, count in buckets:
+        if count >= rank:
+            if le == math.inf or le is None:
+                return prev_le
+            span = count - prev_count
+            fraction = (rank - prev_count) / span if span else 1.0
+            return prev_le + (float(le) - prev_le) * fraction
+        prev_le, prev_count = float(le), count
+    return prev_le
+
+
+def quantiles(values: Sequence[float], qs: Sequence[float]) -> list[float]:
+    """Exact sample quantiles (linear interpolation between order stats)."""
+    ordered = sorted(values)
+    if not ordered:
+        return [0.0 for _ in qs]
+    out = []
+    last = len(ordered) - 1
+    for q in qs:
+        position = q * last
+        low = int(position)
+        high = min(low + 1, last)
+        fraction = position - low
+        out.append(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+
+class MetricsRegistry:
+    """All metric families of one process, plus scrape-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+        self._collectors: list[Callable[[], list[dict]]] = []
+
+    def _register(self, family: MetricFamily) -> MetricFamily:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if (
+                    type(existing) is not type(family)
+                    or existing.labelnames != family.labelnames
+                ):
+                    raise ValueError(
+                        f"metric {family.name!r} already registered with a "
+                        "different type or label set"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labels))
+
+    def gauge(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labels, buckets))
+
+    def register_collector(
+        self, fn: Callable[[], list[dict]]
+    ) -> Callable[[], list[dict]]:
+        """Add a scrape-time producer of family snapshots.
+
+        Collector family names must not collide with registered
+        families — the exposition would double-count.
+        """
+        self._collectors.append(fn)
+        return fn
+
+    def unregister_collector(self, fn: Callable[[], list[dict]]) -> None:
+        if fn in self._collectors:
+            self._collectors.remove(fn)
+
+    def collect(self) -> list[dict]:
+        """One consistent snapshot: registered families + collectors."""
+        out = [
+            family.snapshot()
+            for _, family in sorted(self._families.items())
+        ]
+        seen = {family["name"] for family in out}
+        for collector in list(self._collectors):
+            for family in collector():
+                if family["name"] in seen:
+                    raise ValueError(
+                        f"collector family {family['name']!r} collides "
+                        "with a registered metric"
+                    )
+                seen.add(family["name"])
+                out.append(family)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Exposition
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> dict:
+        """The JSON variant: ``{name: family_snapshot}``."""
+        return {family["name"]: family for family in self.collect()}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for family in self.collect():
+            name = family["name"]
+            lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['type']}")
+            for sample in family["samples"]:
+                labels = sample["labels"]
+                names = tuple(labels)
+                values = tuple(labels[key] for key in names)
+                if family["type"] == "histogram":
+                    for le, count in sample["buckets"]:
+                        le_str = _format_value(
+                            math.inf if le is None else le
+                        )
+                        bucket_labels = _label_pairs(
+                            names + ("le",), values + (le_str,)
+                        )
+                        lines.append(
+                            f"{name}_bucket{bucket_labels} {count}"
+                        )
+                    pairs = _label_pairs(names, values)
+                    lines.append(
+                        f"{name}_sum{pairs} "
+                        f"{_format_value(sample['sum'])}"
+                    )
+                    lines.append(f"{name}_count{pairs} {sample['count']}")
+                else:
+                    pairs = _label_pairs(names, values)
+                    lines.append(
+                        f"{name}{pairs} {_format_value(sample['value'])}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every family and collector (test isolation)."""
+        with self._lock:
+            self._families.clear()
+            self._collectors.clear()
+        _install_default_metrics(self)
+
+
+# ---------------------------------------------------------------------- #
+# The process-wide registry and switchboard
+# ---------------------------------------------------------------------- #
+
+REGISTRY = MetricsRegistry()
+
+
+def enable() -> MetricsRegistry:
+    """Turn metric collection on process-wide; returns the registry."""
+    global ENABLED
+    ENABLED = True
+    return REGISTRY
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+# Default instruments.  Created eagerly (they are a handful of dicts) so
+# instrumentation sites are plain attribute loads; tallies only move
+# while ENABLED is True because every site is guarded by the flag.
+
+def _install_default_metrics(registry: MetricsRegistry) -> None:
+    global JOBS_SUBMITTED, JOBS_CLAIMED, JOBS_COMPLETED, JOBS_REQUEUED
+    global JOBS_LEASE_FAILED, JOB_EVENTS, QUEUE_WAIT_SECONDS
+    global JOB_RUN_SECONDS, SAT_SOLVE_SECONDS, STORE_TXN_SECONDS
+    global RESULTS_STORED, CERTIFICATES_STORED, TRACES_STORED
+    global WORKER_JOBS, HTTP_REQUESTS, HTTP_SECONDS, SSE_STREAMS
+
+    JOBS_SUBMITTED = registry.counter(
+        "repro_jobs_submitted_total",
+        "Jobs accepted into the durable queue by this process",
+        ("method",),
+    )
+    JOBS_CLAIMED = registry.counter(
+        "repro_jobs_claimed_total",
+        "Queue claims granted to workers in this process",
+        ("method",),
+    )
+    JOBS_COMPLETED = registry.counter(
+        "repro_jobs_completed_total",
+        "Jobs this process drove to a terminal state",
+        ("method", "state"),
+    )
+    JOBS_REQUEUED = registry.counter(
+        "repro_jobs_requeued_total",
+        "Lease-expired jobs put back in the queue",
+    )
+    JOBS_LEASE_FAILED = registry.counter(
+        "repro_jobs_lease_failed_total",
+        "Jobs failed after exhausting their lease attempts",
+    )
+    JOB_EVENTS = registry.counter(
+        "repro_job_events_total",
+        "Events appended to per-job event streams",
+        ("kind",),
+    )
+    QUEUE_WAIT_SECONDS = registry.histogram(
+        "repro_job_queue_wait_seconds",
+        "Delay between submission and the claim that ran the job",
+        ("method",),
+    )
+    JOB_RUN_SECONDS = registry.histogram(
+        "repro_job_run_seconds",
+        "Claim-to-completion run time of finished jobs",
+        ("method",),
+    )
+    SAT_SOLVE_SECONDS = registry.histogram(
+        "repro_sat_solve_seconds",
+        "Wall time of individual CDCL solve() calls",
+        buckets=FAST_BUCKETS,
+    )
+    STORE_TXN_SECONDS = registry.histogram(
+        "repro_store_txn_seconds",
+        "Store write-transaction wall time",
+        buckets=FAST_BUCKETS,
+    )
+    RESULTS_STORED = registry.counter(
+        "repro_results_stored_total",
+        "Result rows upserted into the keyed store",
+    )
+    CERTIFICATES_STORED = registry.counter(
+        "repro_certificates_stored_total",
+        "Certificate blobs written content-addressed",
+    )
+    TRACES_STORED = registry.counter(
+        "repro_traces_stored_total",
+        "Per-job obs trace blobs written content-addressed",
+    )
+    WORKER_JOBS = registry.counter(
+        "repro_worker_jobs_total",
+        "Jobs executed by this worker process, by outcome",
+        ("outcome",),
+    )
+    HTTP_REQUESTS = registry.counter(
+        "repro_http_requests_total",
+        "HTTP requests served",
+        ("route", "code"),
+    )
+    HTTP_SECONDS = registry.histogram(
+        "repro_http_request_seconds",
+        "HTTP request service time",
+        ("route",),
+        buckets=FAST_BUCKETS,
+    )
+    SSE_STREAMS = registry.gauge(
+        "repro_sse_streams",
+        "Server-sent event streams currently connected",
+    )
+
+
+_install_default_metrics(REGISTRY)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "ENABLED",
+    "FAST_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "disable",
+    "enable",
+    "histogram_family",
+    "histogram_quantile",
+    "is_enabled",
+    "quantiles",
+]

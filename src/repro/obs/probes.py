@@ -45,6 +45,8 @@ series                  meaning
 ``svc.queue_depth``     claimable jobs in the service's durable queue
 ``svc.active_leases``   jobs currently held under a worker lease
 ``svc.completed_jobs``  jobs this worker has finished since it started
+``svc.sse_clients``     live SSE event streams on the HTTP server (sampled
+                        by the server on connect/disconnect)
 ======================  =====================================================
 """
 

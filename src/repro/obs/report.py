@@ -48,13 +48,20 @@ class PhaseSummary:
 
 @dataclass
 class SeriesSummary:
-    """One counter series, summarized."""
+    """One counter series, summarized.
+
+    ``peak`` is the series maximum; ``p50``/``p95`` are sample
+    quantiles over the recorded values, so reports built from service
+    runs show the latency/gauge *distribution*, not just its peak.
+    """
 
     name: str
     samples: int
     first: float
     last: float
     peak: float
+    p50: float = 0.0
+    p95: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -63,6 +70,8 @@ class SeriesSummary:
             "first": self.first,
             "last": self.last,
             "peak": self.peak,
+            "p50": self.p50,
+            "p95": self.p95,
         }
 
 
@@ -142,11 +151,12 @@ class RunReport:
                     f"{share:>7.0%}"
                 )
         if self.series:
-            lines.append("series (peak gauges):")
+            lines.append("series (gauge distributions):")
             for series in self.series:
                 lines.append(
                     f"  {series.name:<28}{series.samples:>5} samples"
-                    f"  last {series.last:g}  peak {series.peak:g}"
+                    f"  last {series.last:g}  p50 {series.p50:g}"
+                    f"  p95 {series.p95:g}  max {series.peak:g}"
                 )
         if self.gauges:
             lines.append("stats gauges:")
@@ -228,17 +238,23 @@ def build_report(result, tracer: Tracer | None = None) -> RunReport:
             series_points.setdefault(counter.name, []).append(
                 (counter.t, counter.value)
             )
+    from repro.obs.metrics import quantiles
+
     for name in sorted(series_points):
         points = sorted(series_points[name])
         if not points:
             continue
+        values = [value for _, value in points]
+        p50, p95 = quantiles(values, (0.5, 0.95))
         report.series.append(
             SeriesSummary(
                 name=name,
                 samples=len(points),
                 first=points[0][1],
                 last=points[-1][1],
-                peak=max(value for _, value in points),
+                peak=max(values),
+                p50=p50,
+                p95=p95,
             )
         )
     if not report.wall_seconds:

@@ -59,9 +59,11 @@ predicted branch per implication when disabled.
 from __future__ import annotations
 
 import enum
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.errors import SatError
+from repro.obs import metrics as _met
 from repro.obs import probes as _obs
 from repro.sat.cnf import CNF
 
@@ -926,10 +928,15 @@ class Solver:
         observed = _obs.ENABLED
         if observed:
             snapshot = _obs.begin_solve(self)
+        metered = _met.ENABLED
+        if metered:
+            t0 = perf_counter()
         if not self._ok:
             self._core = ()
             if observed:
                 _obs.end_solve(self, snapshot, SolveResult.UNSAT)
+            if metered:
+                _met.SAT_SOLVE_SECONDS.observe(perf_counter() - t0)
             return SolveResult.UNSAT
         for lit in assumptions:
             self._ensure_var(abs(lit))
@@ -1015,6 +1022,8 @@ class Solver:
         self._cancel_until(0)
         if observed:
             _obs.end_solve(self, snapshot, result)
+        if metered:
+            _met.SAT_SOLVE_SECONDS.observe(perf_counter() - t0)
         return result
 
     # ------------------------------------------------------------------ #

@@ -16,8 +16,13 @@ with the Python process.  This package is the durability layer on top:
   subprocess budgets), streaming progress events into the store and
   honoring cancellation between engine races;
 * :mod:`repro.svc.server` — an ``http.server``-thread JSON API
-  (submit/status/result/cancel/healthcheck/metrics) plus the
-  ``repro serve`` / ``repro submit`` / ``repro jobs`` CLI plumbing.
+  (submit/status/result/cancel/healthcheck/engines), with fleet
+  telemetry on top: ``/metrics`` content-negotiated between JSON and
+  Prometheus text exposition, ``/jobs/<id>/events`` upgrading to a
+  server-sent event stream (``Last-Event-ID`` resume, terminal ``end``
+  frame), ``/jobs/<id>/trace`` serving the per-job obs trace uploaded
+  by ``--trace-jobs`` workers, and the ``repro serve`` / ``repro
+  submit`` / ``repro jobs [--follow]`` / ``repro top`` CLI plumbing.
 """
 
 from repro.svc.queue import Job, JobState, QueueFullError, TaskQueue

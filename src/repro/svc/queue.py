@@ -35,6 +35,7 @@ import json
 from dataclasses import dataclass
 
 from repro.errors import ModelCheckingError, QueueFullError, ServiceError
+from repro.obs import metrics as _met
 from repro.svc.store import Store
 
 
@@ -74,6 +75,8 @@ class Job:
     submitted_at: float
     started_at: float | None
     finished_at: float | None
+    trace_id: str | None = None
+    verdict: str | None = None
 
     @classmethod
     def from_row(cls, row) -> "Job":
@@ -100,6 +103,8 @@ class Job:
             submitted_at=row["submitted_at"],
             started_at=row["started_at"],
             finished_at=row["finished_at"],
+            trace_id=row["trace_id"],
+            verdict=row["verdict"],
         )
 
     def to_dict(self) -> dict:
@@ -121,9 +126,9 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
-            "verdict": (
-                self.result.get("status") if self.result is not None else None
-            ),
+            "trace_id": self.trace_id,
+            "verdict": self.verdict
+            or (self.result.get("status") if self.result is not None else None),
         }
 
 
@@ -208,6 +213,8 @@ class TaskQueue:
                 ),
             )
             job_id = cursor.lastrowid
+        if _met.ENABLED:
+            _met.JOBS_SUBMITTED.labels(method).inc()
         self.record_event(job_id, "submitted", {"method": method})
         return job_id
 
@@ -259,6 +266,11 @@ class TaskQueue:
                 conn.execute(
                     "SELECT * FROM jobs WHERE job_id=?", (job_id,)
                 ).fetchone()
+            )
+        if _met.ENABLED:
+            _met.JOBS_CLAIMED.labels(job.method).inc()
+            _met.QUEUE_WAIT_SECONDS.labels(job.method).observe(
+                max(0.0, now - job.submitted_at)
             )
         self.record_event(job_id, "claimed", {"worker": worker_id,
                                               "attempt": job.attempts})
@@ -326,6 +338,8 @@ class TaskQueue:
                         ),
                     )
                     changed.append((row["job_id"], "failed"))
+                    if _met.ENABLED:
+                        _met.JOBS_LEASE_FAILED.inc()
                 else:
                     conn.execute(
                         """
@@ -340,6 +354,8 @@ class TaskQueue:
                         ),
                     )
                     changed.append((row["job_id"], "requeued"))
+                    if _met.ENABLED:
+                        _met.JOBS_REQUEUED.inc()
         for job_id, outcome in changed:
             self.record_event(job_id, outcome, {"at": now})
         return changed
@@ -356,50 +372,78 @@ class TaskQueue:
         *,
         state: JobState = JobState.DONE,
         reason: str | None = None,
+        trace_id: str | None = None,
     ) -> bool:
         """Finish a job the caller still holds; False if the lease was
-        lost (the verdict is discarded — the retry owns the job now)."""
+        lost (the verdict is discarded — the retry owns the job now).
+
+        ``trace_id`` references the worker's uploaded obs trace in the
+        store, served back at ``GET /jobs/<id>/trace``.
+        """
         if not state.terminal:
             raise ServiceError(f"completion state {state} is not terminal")
+        now = self.store.now()
+        verdict = result_payload.get("status")
         with self.store.transaction() as conn:
             cursor = conn.execute(
                 """
-                UPDATE jobs SET state=?, result=?, reason=?,
-                    lease_expires=NULL, finished_at=?
+                UPDATE jobs SET state=?, result=?, reason=?, verdict=?,
+                    trace_id=?, lease_expires=NULL, finished_at=?
                 WHERE job_id=? AND worker=? AND state=?
                 """,
                 (
                     state.value,
                     json.dumps(result_payload),
                     reason,
-                    self.store.now(),
+                    verdict,
+                    trace_id,
+                    now,
                     job_id,
                     worker_id,
                     JobState.RUNNING.value,
                 ),
             )
             won = cursor.rowcount == 1
+            if won and _met.ENABLED:
+                row = conn.execute(
+                    "SELECT method, started_at FROM jobs WHERE job_id=?",
+                    (job_id,),
+                ).fetchone()
         if won:
+            if _met.ENABLED:
+                _met.JOBS_COMPLETED.labels(row["method"], state.value).inc()
+                if row["started_at"] is not None:
+                    _met.JOB_RUN_SECONDS.labels(row["method"]).observe(
+                        max(0.0, now - row["started_at"])
+                    )
             self.record_event(
                 job_id,
                 "job_finished",
-                {"state": state.value,
-                 "verdict": result_payload.get("status")},
+                {"state": state.value, "verdict": verdict,
+                 "trace_id": trace_id},
             )
         return won
 
-    def fail(self, job_id: int, worker_id: str, reason: str) -> bool:
+    def fail(
+        self,
+        job_id: int,
+        worker_id: str,
+        reason: str,
+        *,
+        trace_id: str | None = None,
+    ) -> bool:
         """Mark a held job FAILED with a reason (engine error, bad input)."""
         with self.store.transaction() as conn:
             cursor = conn.execute(
                 """
-                UPDATE jobs SET state=?, reason=?, lease_expires=NULL,
-                    finished_at=?
+                UPDATE jobs SET state=?, reason=?, trace_id=?,
+                    lease_expires=NULL, finished_at=?
                 WHERE job_id=? AND worker=? AND state=?
                 """,
                 (
                     JobState.FAILED.value,
                     reason,
+                    trace_id,
                     self.store.now(),
                     job_id,
                     worker_id,
@@ -407,7 +451,15 @@ class TaskQueue:
                 ),
             )
             won = cursor.rowcount == 1
+            if won and _met.ENABLED:
+                row = conn.execute(
+                    "SELECT method FROM jobs WHERE job_id=?", (job_id,)
+                ).fetchone()
         if won:
+            if _met.ENABLED:
+                _met.JOBS_COMPLETED.labels(
+                    row["method"], JobState.FAILED.value
+                ).inc()
             self.record_event(job_id, "job_finished",
                               {"state": "failed", "reason": reason})
         return won
@@ -418,7 +470,7 @@ class TaskQueue:
         races.  True iff the job exists and was not already terminal."""
         with self.store.transaction() as conn:
             row = conn.execute(
-                "SELECT state FROM jobs WHERE job_id=?", (job_id,)
+                "SELECT state, method FROM jobs WHERE job_id=?", (job_id,)
             ).fetchone()
             if row is None or JobState(row["state"]).terminal:
                 return False
@@ -441,6 +493,19 @@ class TaskQueue:
                     ),
                 )
         self.record_event(job_id, "cancel_requested", None)
+        if row["state"] == JobState.QUEUED.value:
+            # A queued job dies right here — give streaming clients the
+            # same terminal marker a worker completion would produce.
+            if _met.ENABLED:
+                _met.JOBS_COMPLETED.labels(
+                    row["method"], JobState.CANCELLED.value
+                ).inc()
+            self.record_event(
+                job_id,
+                "job_finished",
+                {"state": JobState.CANCELLED.value,
+                 "reason": "cancelled before start"},
+            )
         return True
 
     def cancel_requested(self, job_id: int) -> bool:
@@ -502,6 +567,49 @@ class TaskQueue:
             counts[row["state"]] = row["n"]
         return counts
 
+    def method_verdicts(self) -> dict[tuple[str, str], int]:
+        """Terminal jobs grouped by ``(method, verdict)`` — the
+        per-engine win-count table behind ``repro_jobs_won_total``."""
+        rows = self.store._connection().execute(
+            """
+            SELECT method, COALESCE(verdict, state) AS verdict,
+                   COUNT(*) AS n
+            FROM jobs WHERE state IN (?, ?, ?)
+            GROUP BY method, COALESCE(verdict, state)
+            """,
+            (
+                JobState.DONE.value,
+                JobState.FAILED.value,
+                JobState.CANCELLED.value,
+            ),
+        ).fetchall()
+        return {(row["method"], row["verdict"]): row["n"] for row in rows}
+
+    def finished_latencies(
+        self, limit: int = 512
+    ) -> list[tuple[str, float, float]]:
+        """``(method, queue_wait, run_seconds)`` of the most recently
+        finished jobs — raw material for scrape-time latency
+        histograms that cover the whole fleet, including jobs run by
+        worker *processes* whose in-memory registries die with them."""
+        rows = self.store._connection().execute(
+            """
+            SELECT method, submitted_at, started_at, finished_at
+            FROM jobs
+            WHERE finished_at IS NOT NULL AND started_at IS NOT NULL
+            ORDER BY finished_at DESC LIMIT ?
+            """,
+            (int(limit),),
+        ).fetchall()
+        return [
+            (
+                row["method"],
+                max(0.0, row["started_at"] - row["submitted_at"]),
+                max(0.0, row["finished_at"] - row["started_at"]),
+            )
+            for row in rows
+        ]
+
     # ------------------------------------------------------------------ #
     # Events
     # ------------------------------------------------------------------ #
@@ -527,12 +635,19 @@ class TaskQueue:
                     json.dumps(payload) if payload is not None else None,
                 ),
             )
+        if _met.ENABLED:
+            _met.JOB_EVENTS.labels(kind).inc()
 
     def events(self, job_id: int) -> list[dict]:
+        return self.events_after(job_id, 0)
+
+    def events_after(self, job_id: int, after_seq: int) -> list[dict]:
+        """Events with ``seq > after_seq``, in order — the incremental
+        read the SSE streamer (and ``Last-Event-ID`` resume) runs."""
         rows = self.store._connection().execute(
             "SELECT seq, t, kind, payload FROM job_events "
-            "WHERE job_id=? ORDER BY seq ASC",
-            (job_id,),
+            "WHERE job_id=? AND seq>? ORDER BY seq ASC",
+            (job_id, int(after_seq)),
         ).fetchall()
         return [
             {

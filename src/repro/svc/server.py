@@ -13,11 +13,24 @@ dependencies beyond the stdlib.  Endpoints:
                                filters)
 ``GET  /jobs/<id>``            one job's status record
 ``GET  /jobs/<id>/result``     the verdict payload (404 until terminal)
-``GET  /jobs/<id>/events``     the job's progress-event stream
+``GET  /jobs/<id>/events``     the job's progress events: a JSON
+                               snapshot by default, a live SSE stream
+                               under ``Accept: text/event-stream`` (or
+                               ``?stream=1``), resumable from
+                               ``Last-Event-ID``/``?after=``; a
+                               synthetic ``end`` event marks the
+                               terminal state
+``GET  /jobs/<id>/trace``      the job's uploaded obs trace as Chrome
+                               ``trace_event`` JSON (404 until a
+                               ``--trace-jobs`` worker finished it)
 ``POST /jobs/<id>/cancel``     request cancellation
 ``GET  /healthz``              liveness + queue depth, active leases,
                                store schema version
-``GET  /metrics``              queue/lease/state-count/store gauges
+``GET  /metrics``              the metrics registry: JSON by default
+                               (legacy gauges + full family snapshots),
+                               Prometheus text exposition under
+                               ``Accept: text/plain`` (or
+                               ``?format=prometheus``)
 ``GET  /engines``              the engine registry
                                (:func:`repro.api.registry.engine_catalog`)
                                so clients validate ``method`` without
@@ -29,6 +42,13 @@ in-host worker fleet: ``workers=N`` starts ``N`` worker *processes*
 (crash-isolated, each with its own store connection) or, with
 ``worker_processes=False``, daemon threads sharing this process (handy
 for tests and the in-process demo).
+
+Metrics are fleet-correct with either fleet shape: ``start()`` enables
+the :mod:`repro.obs.metrics` registry in the server process and
+registers a *collector* that derives queue depth, jobs by state,
+per-engine win counts and latency histograms from the durable store at
+scrape time — truths worker processes wrote, which their private
+in-memory registries could never report back.
 """
 
 from __future__ import annotations
@@ -38,14 +58,44 @@ import multiprocessing
 import pathlib
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ModelCheckingError, QueueFullError, ServiceError
+from repro.obs import metrics as _met
+from repro.obs import probes as _obs
 from repro.svc.queue import TaskQueue
 from repro.svc.store import Store
 from repro.svc.worker import Worker, worker_main
 
-_JOB_PATH = re.compile(r"^/jobs/(\d+)(/result|/events|/cancel)?$")
+_JOB_PATH = re.compile(r"^/jobs/(\d+)(/result|/events|/trace|/cancel)?$")
+
+# Normalized route labels so HTTP metrics stay low-cardinality (job ids
+# never become label values).
+_ROUTE_BY_SUFFIX = {
+    None: "job",
+    "/result": "job_result",
+    "/events": "job_events",
+    "/trace": "job_trace",
+    "/cancel": "job_cancel",
+}
+
+
+def _route_label(path: str) -> str:
+    path = path.partition("?")[0]
+    fixed = {
+        "/submit": "submit",
+        "/healthz": "healthz",
+        "/metrics": "metrics",
+        "/engines": "engines",
+        "/jobs": "jobs",
+    }
+    if path in fixed:
+        return fixed[path]
+    match = _JOB_PATH.match(path)
+    if match is not None:
+        return _ROUTE_BY_SUFFIX[match.group(2)]
+    return "other"
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -63,6 +113,7 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service  # type: ignore[attr-defined]
 
     def _send(self, code: int, payload: dict) -> None:
+        self._sent_code = code
         body = json.dumps(payload).encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
@@ -70,23 +121,59 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        self._sent_code = code
+        encoded = body.encode()
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length", "0"))
         if length <= 0:
             return {}
         return json.loads(self.rfile.read(length).decode())
 
+    def _query(self) -> dict[str, str]:
+        _, _, query = self.path.partition("?")
+        return dict(
+            pair.split("=", 1) for pair in query.split("&") if "=" in pair
+        )
+
     # ------------------------------------------------------------------ #
     # Routing
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._instrumented(self._do_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._instrumented(self._do_post)
+
+    def _instrumented(self, handler) -> None:
+        metered = _met.ENABLED
+        if metered:
+            t0 = time.perf_counter()
+        self._sent_code = 0
+        try:
+            handler()
+        finally:
+            if metered:
+                route = _route_label(self.path)
+                _met.HTTP_REQUESTS.labels(route, str(self._sent_code)).inc()
+                _met.HTTP_SECONDS.labels(route).observe(
+                    time.perf_counter() - t0
+                )
+
+    def _do_get(self) -> None:
         try:
             path, _, query = self.path.partition("?")
             if path == "/healthz":
                 return self._send(200, self.service.health())
             if path == "/metrics":
-                return self._send(200, self.service.metrics())
+                return self._metrics()
             if path == "/engines":
                 from repro.api.registry import engine_catalog
 
@@ -105,8 +192,7 @@ class _Handler(BaseHTTPRequestHandler):
                     200, {"jobs": [job.to_dict() for job in jobs]}
                 )
             match = _JOB_PATH.match(path)
-            if match is not None and match.group(2) in (None, "/result",
-                                                        "/events"):
+            if match is not None and match.group(2) != "/cancel":
                 job_id = int(match.group(1))
                 job = self.service.queue.job(job_id)
                 if job is None:
@@ -124,25 +210,34 @@ class _Handler(BaseHTTPRequestHandler):
                          "result": job.result},
                     )
                 if match.group(2) == "/events":
+                    accept = self.headers.get("Accept", "")
+                    if (
+                        "text/event-stream" in accept
+                        or self._query().get("stream") == "1"
+                    ):
+                        return self._stream_events(job_id)
                     return self._send(
                         200,
                         {"job_id": job_id,
                          "events": self.service.queue.events(job_id)},
                     )
+                if match.group(2) == "/trace":
+                    return self._trace(job)
                 return self._send(200, job.to_dict())
             return self._send(404, {"error": f"unknown path {path!r}"})
         except Exception as exc:  # noqa: BLE001 - report, don't kill thread
             return self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _do_post(self) -> None:
         try:
-            if self.path == "/submit":
+            path = self.path.partition("?")[0]
+            if path == "/submit":
                 return self._submit()
-            match = _JOB_PATH.match(self.path)
+            match = _JOB_PATH.match(path)
             if match is not None and match.group(2) == "/cancel":
                 cancelled = self.service.queue.cancel(int(match.group(1)))
                 return self._send(200, {"cancelled": cancelled})
-            return self._send(404, {"error": f"unknown path {self.path!r}"})
+            return self._send(404, {"error": f"unknown path {path!r}"})
         except json.JSONDecodeError as exc:
             return self._send(400, {"error": f"bad JSON: {exc}"})
         except Exception as exc:  # noqa: BLE001 - report, don't kill thread
@@ -178,6 +273,137 @@ class _Handler(BaseHTTPRequestHandler):
             return self._send(400, {"error": str(exc)})
         return self._send(200, {"job_id": job_id})
 
+    # ------------------------------------------------------------------ #
+    # Metrics exposition
+    # ------------------------------------------------------------------ #
+
+    def _metrics(self) -> None:
+        accept = self.headers.get("Accept", "")
+        wants_text = (
+            self._query().get("format") == "prometheus"
+            or "text/plain" in accept
+            or "openmetrics" in accept
+        )
+        if wants_text:
+            return self._send_text(
+                200,
+                _met.REGISTRY.to_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        return self._send(200, self.service.metrics())
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+
+    def _trace(self, job) -> None:
+        if job.trace_id is None:
+            return self._send(
+                404,
+                {"error": "no trace for this job (run workers with "
+                          "--trace-jobs)",
+                 "state": job.state.value},
+            )
+        doc = self.service.store.get_trace(job.trace_id)
+        if doc is None:
+            return self._send(404, {"error": "trace blob missing"})
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(epoch=0.0)
+        tracer.wall_epoch = doc.get("wall_epoch", 0.0)
+        tracer.merge_records(doc.get("records", []))
+        return self._send(200, tracer.to_chrome_trace())
+
+    # ------------------------------------------------------------------ #
+    # Server-sent events
+    # ------------------------------------------------------------------ #
+
+    def _stream_events(self, job_id: int) -> None:
+        """Stream the persisted event log as SSE frames.
+
+        Each event becomes ``id:``/``event:``/``data:`` lines keyed by
+        the durable ``seq``, so a dropped client resumes exactly where
+        it left off via ``Last-Event-ID`` — including across a worker
+        SIGKILL and lease-expiry requeue, because the log itself is in
+        the store, not in any worker.  After the job goes terminal the
+        streamer drains until the log is quiet, then emits a synthetic
+        ``end`` event (not persisted; its id repeats the last seq).
+        """
+        queue = self.service.queue
+        after = 0
+        last_id = self.headers.get("Last-Event-ID")
+        resume = last_id if last_id is not None else self._query().get("after")
+        if resume is not None:
+            try:
+                after = int(resume)
+            except ValueError:
+                after = 0
+        self._sent_code = 200
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        # No Content-Length: the connection close delimits the stream.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+
+        service = self.service
+        service.sse_opened()
+        poll = service.sse_poll
+        grace = max(poll * 3, 0.25)
+        keepalive_every = 10.0
+        quiet = 0.0
+        since_write = 0.0
+        try:
+            while True:
+                events = queue.events_after(job_id, after)
+                for event in events:
+                    after = event["seq"]
+                    self.wfile.write(
+                        f"id: {event['seq']}\n"
+                        f"event: {event['kind']}\n"
+                        f"data: {json.dumps(event)}\n\n".encode()
+                    )
+                if events:
+                    self.wfile.flush()
+                    quiet = 0.0
+                    since_write = 0.0
+                job = queue.job(job_id)
+                if job is None:
+                    break
+                if job.state.terminal:
+                    # complete() commits the terminal row *before* it
+                    # appends the job_finished event — drain until the
+                    # log has been quiet for a grace window so the
+                    # terminal event is never cut off.
+                    if quiet >= grace:
+                        end = {
+                            "seq": after,
+                            "state": job.state.value,
+                            "verdict": job.verdict,
+                            "reason": job.reason,
+                            "trace_id": job.trace_id,
+                        }
+                        self.wfile.write(
+                            f"id: {after}\nevent: end\n"
+                            f"data: {json.dumps(end)}\n\n".encode()
+                        )
+                        self.wfile.flush()
+                        break
+                if service.stopping:
+                    break
+                if since_write >= keepalive_every:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+                    since_write = 0.0
+                time.sleep(poll)
+                quiet += poll
+                since_write += poll
+        except (BrokenPipeError, ConnectionError, OSError):
+            pass  # client went away; nothing to clean up but the gauge
+        finally:
+            service.sse_closed()
+
 
 class VerificationServer:
     """The service bundle: store + queue + HTTP front + worker fleet."""
@@ -193,6 +419,8 @@ class VerificationServer:
         workers: int = 0,
         worker_processes: bool = True,
         worker_poll: float = 0.2,
+        trace_jobs: bool = False,
+        sse_poll: float = 0.1,
     ) -> None:
         self.store_path = pathlib.Path(store_path)
         self.host = host
@@ -202,12 +430,17 @@ class VerificationServer:
         self.num_workers = workers
         self.worker_processes = worker_processes
         self.worker_poll = worker_poll
+        self.trace_jobs = trace_jobs
+        self.sse_poll = sse_poll
         self.store: Store | None = None
         self.queue: TaskQueue | None = None
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
         self._workers: list = []
         self._stop = threading.Event()
+        self._sse_lock = threading.Lock()
+        self._sse_clients = 0
+        self._collector = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -222,6 +455,9 @@ class VerificationServer:
             max_pending=self.max_pending,
             lease_seconds=self.lease_seconds,
         )
+        _met.enable()
+        self._collector = self._store_families
+        _met.REGISTRY.register_collector(self._collector)
         self._httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
         self._httpd.service = self  # type: ignore[attr-defined]
         self.port = self._httpd.server_address[1]
@@ -238,6 +474,7 @@ class VerificationServer:
                         "worker_id": f"serve-{index}",
                         "lease_seconds": self.lease_seconds,
                         "poll_interval": self.worker_poll,
+                        "trace_jobs": self.trace_jobs,
                     },
                     daemon=True,
                 )
@@ -249,6 +486,7 @@ class VerificationServer:
                     worker_id=f"serve-{index}",
                     lease_seconds=self.lease_seconds,
                     poll_interval=self.worker_poll,
+                    trace_jobs=self.trace_jobs,
                 )
                 thread = threading.Thread(
                     target=worker.run,
@@ -272,6 +510,9 @@ class VerificationServer:
                 worker.terminate()
                 worker.join(timeout=2.0)
         self._workers.clear()
+        if self._collector is not None:
+            _met.REGISTRY.unregister_collector(self._collector)
+            self._collector = None
         if self.store is not None:
             self.store.close()
 
@@ -285,6 +526,32 @@ class VerificationServer:
     @property
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # ------------------------------------------------------------------ #
+    # SSE bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def sse_opened(self) -> None:
+        with self._sse_lock:
+            self._sse_clients += 1
+            clients = self._sse_clients
+        if _met.ENABLED:
+            _met.SSE_STREAMS.set(clients)
+        if _obs.ENABLED:
+            _obs.sample("svc.sse_clients", clients)
+
+    def sse_closed(self) -> None:
+        with self._sse_lock:
+            self._sse_clients -= 1
+            clients = self._sse_clients
+        if _met.ENABLED:
+            _met.SSE_STREAMS.set(clients)
+        if _obs.ENABLED:
+            _obs.sample("svc.sse_clients", clients)
 
     # ------------------------------------------------------------------ #
     # Introspection payloads
@@ -303,6 +570,12 @@ class VerificationServer:
         }
 
     def metrics(self) -> dict:
+        """The ``/metrics`` JSON document.
+
+        The legacy top-level gauges stay (scripts and the smoke test
+        read them); ``"metrics"`` carries the full registry snapshot —
+        the same families the Prometheus variant renders.
+        """
         counts = self.queue.counts()
         return {
             "queue_depth": self.queue.depth(),
@@ -310,4 +583,92 @@ class VerificationServer:
             "jobs": counts,
             "results": self.store.count_results(),
             "certificates": self.store.count_certificates(),
+            "traces": self.store.count_traces(),
+            "sse_streams": self._sse_clients,
+            "metrics": _met.REGISTRY.to_json(),
         }
+
+    def _store_families(self) -> list[dict]:
+        """Scrape-time metric families derived from the durable store.
+
+        These are fleet-wide truths: worker *processes* tally into
+        their own private registries that die with them, but everything
+        that matters is committed to the store — so the store is the
+        source of truth the scrape reads.
+        """
+
+        def gauge(name: str, help: str, samples) -> dict:
+            return {
+                "name": name,
+                "type": "gauge",
+                "help": help,
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in samples
+                ],
+            }
+
+        counts = self.queue.counts()
+        wins = self.queue.method_verdicts()
+        latencies = self.queue.finished_latencies()
+        by_method: dict[str, list[float]] = {}
+        wait_by_method: dict[str, list[float]] = {}
+        for method, wait_seconds, run_seconds in latencies:
+            by_method.setdefault(method, []).append(run_seconds)
+            wait_by_method.setdefault(method, []).append(wait_seconds)
+        return [
+            gauge(
+                "repro_queue_depth",
+                "Queued (claimable) jobs in the durable queue",
+                [({}, self.queue.depth())],
+            ),
+            gauge(
+                "repro_active_leases",
+                "Jobs currently claimed under a live worker lease",
+                [({}, self.queue.active_leases())],
+            ),
+            gauge(
+                "repro_jobs",
+                "Jobs in the store by state",
+                [({"state": state}, n) for state, n in sorted(counts.items())],
+            ),
+            {
+                "name": "repro_jobs_won_total",
+                "type": "counter",
+                "help": "Terminal jobs by engine method and verdict",
+                "samples": [
+                    {"labels": {"method": method, "verdict": verdict},
+                     "value": n}
+                    for (method, verdict), n in sorted(wins.items())
+                ],
+            },
+            _met.histogram_family(
+                "repro_job_latency_seconds",
+                "Claim-to-finish latency of recently finished jobs "
+                "(fleet-wide, derived from the store)",
+                [({"method": method}, values)
+                 for method, values in sorted(by_method.items())],
+            ),
+            _met.histogram_family(
+                "repro_job_wait_seconds",
+                "Submit-to-claim queue wait of recently finished jobs "
+                "(fleet-wide, derived from the store)",
+                [({"method": method}, values)
+                 for method, values in sorted(wait_by_method.items())],
+            ),
+            gauge(
+                "repro_store_results",
+                "Result rows in the keyed store",
+                [({}, self.store.count_results())],
+            ),
+            gauge(
+                "repro_store_certificates",
+                "Content-addressed certificate blobs in the store",
+                [({}, self.store.count_certificates())],
+            ),
+            gauge(
+                "repro_store_traces",
+                "Content-addressed per-job trace blobs in the store",
+                [({}, self.store.count_traces())],
+            ),
+        ]

@@ -14,7 +14,11 @@ One file holds everything a long-running service must not lose:
   row only carries the reference;
 * ``jobs`` / ``job_events`` — the durable task queue
   (:mod:`repro.svc.queue`) and the per-job progress/observability
-  stream.
+  stream;
+* ``traces`` — merged :mod:`repro.obs` span/counter records of a
+  finished job, stored content-addressed (SHA-256 of the canonical
+  JSON document) and referenced from the job row, served by the
+  server as Chrome/Perfetto ``trace_event`` JSON.
 
 Concurrency: the database runs in WAL mode with a busy timeout, so any
 number of reader processes coexist with one writer at a time; writers
@@ -40,6 +44,7 @@ import threading
 import time
 
 from repro.errors import ServiceError
+from repro.obs import metrics as _met
 
 # Each entry is one schema level: applied in order, each inside its own
 # transaction, with user_version stamped afterwards.  Never edit an
@@ -112,6 +117,20 @@ MIGRATIONS: tuple[tuple[str, ...], ...] = (
             ON jobs (state, priority DESC, job_id ASC)
         """,
     ),
+    # v3 — persisted per-job obs traces (content-addressed, like
+    # certificates) plus the trace reference and terminal verdict on
+    # the job row, so win-count metrics are pure SQL.
+    (
+        """
+        CREATE TABLE traces (
+            trace_id   TEXT PRIMARY KEY,
+            payload    TEXT NOT NULL,
+            created_at REAL NOT NULL
+        )
+        """,
+        "ALTER TABLE jobs ADD COLUMN trace_id TEXT",
+        "ALTER TABLE jobs ADD COLUMN verdict TEXT",
+    ),
 )
 
 SCHEMA_VERSION = len(MIGRATIONS)
@@ -173,6 +192,9 @@ class Store:
         the busy handler — never a mid-transaction upgrade deadlock.
         """
         conn = self._connection()
+        metered = _met.ENABLED
+        if metered:
+            t0 = time.perf_counter()
         conn.execute("BEGIN IMMEDIATE")
         try:
             yield conn
@@ -180,6 +202,8 @@ class Store:
             conn.execute("ROLLBACK")
             raise
         conn.execute("COMMIT")
+        if metered:
+            _met.STORE_TXN_SECONDS.observe(time.perf_counter() - t0)
 
     def _migrate(self) -> None:
         conn = self._connection()
@@ -259,6 +283,8 @@ class Store:
                     self.now(),
                 ),
             )
+        if _met.ENABLED:
+            _met.RESULTS_STORED.inc()
 
     def get_result(
         self, namespace: str, digest: str, method: str, max_depth: int
@@ -325,6 +351,8 @@ class Store:
                 """,
                 (cert_id, kind, json.dumps(payload), self.now()),
             )
+        if _met.ENABLED:
+            _met.CERTIFICATES_STORED.inc()
         return cert_id
 
     def get_certificate(self, cert_id: str) -> dict | None:
@@ -336,6 +364,45 @@ class Store:
     def count_certificates(self) -> int:
         return self._connection().execute(
             "SELECT COUNT(*) FROM certificates"
+        ).fetchone()[0]
+
+    # ------------------------------------------------------------------ #
+    # Traces (content-addressed per-job obs records)
+    # ------------------------------------------------------------------ #
+
+    def put_trace(self, records: list[dict], wall_epoch: float) -> str:
+        """Store one job's merged obs records; returns the content
+        address.  Identical traces (e.g. a deterministic replay) share
+        one row, exactly like certificates."""
+        doc = {
+            "schema": "repro.obs/1",
+            "wall_epoch": wall_epoch,
+            "records": records,
+        }
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        trace_id = hashlib.sha256(canonical.encode()).hexdigest()
+        with self.transaction() as conn:
+            conn.execute(
+                """
+                INSERT INTO traces (trace_id, payload, created_at)
+                VALUES (?, ?, ?)
+                ON CONFLICT (trace_id) DO NOTHING
+                """,
+                (trace_id, canonical, self.now()),
+            )
+        if _met.ENABLED:
+            _met.TRACES_STORED.inc()
+        return trace_id
+
+    def get_trace(self, trace_id: str) -> dict | None:
+        row = self._connection().execute(
+            "SELECT payload FROM traces WHERE trace_id=?", (trace_id,)
+        ).fetchone()
+        return json.loads(row["payload"]) if row is not None else None
+
+    def count_traces(self) -> int:
+        return self._connection().execute(
+            "SELECT COUNT(*) FROM traces"
         ).fetchone()[0]
 
 

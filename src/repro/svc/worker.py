@@ -35,6 +35,7 @@ from repro.circuits.bench_format import parse_bench
 from repro.circuits.blif import parse_blif
 from repro.circuits.netlist import Netlist
 from repro.circuits.parse import parse_netlist
+from repro.obs import metrics as _met
 from repro.obs import probes as _obs
 from repro.svc.queue import Job, JobState, TaskQueue
 from repro.svc.store import Store
@@ -58,6 +59,9 @@ class Worker:
     * ``on_claim`` — optional hook called with the claimed
       :class:`Job` before execution; tests and ops tooling use it to
       inject faults or logging.
+    * ``trace_jobs`` — record an :mod:`repro.obs` trace per job and
+      upload it content-addressed with the verdict, so the server can
+      serve ``GET /jobs/<id>/trace``.
     """
 
     def __init__(
@@ -70,6 +74,7 @@ class Worker:
         heartbeat_interval: float | None = None,
         max_pending: int = 1024,
         on_claim: Callable[[Job], None] | None = None,
+        trace_jobs: bool = False,
     ) -> None:
         self.store = store if isinstance(store, Store) else Store(store)
         self.queue = TaskQueue(
@@ -90,6 +95,7 @@ class Worker:
             else max(0.05, lease_seconds / 3.0)
         )
         self.on_claim = on_claim
+        self.trace_jobs = trace_jobs
         self.jobs_completed = 0
 
     # ------------------------------------------------------------------ #
@@ -172,12 +178,41 @@ class Worker:
         try:
             netlist = parse_submission(job.netlist_text, job.fmt, job.name)
         except Exception as exc:  # noqa: BLE001 - bad input, not a crash
+            if _met.ENABLED:
+                _met.WORKER_JOBS.labels("parse_error").inc()
             self.queue.fail(
                 job.job_id,
                 self.worker_id,
                 f"submission does not parse: {type(exc).__name__}: {exc}",
             )
             return
+
+        # Per-job tracing: reuse an already-active tracer (only *this*
+        # job's new records are uploaded), otherwise own one for the
+        # duration of the job.
+        tracer = _obs.tracer() if self.trace_jobs else None
+        owned_tracer = False
+        if self.trace_jobs and tracer is None:
+            from repro import obs as _obs_pkg
+
+            tracer = _obs_pkg.enable()
+            owned_tracer = True
+        spans0 = len(tracer.spans) if tracer is not None else 0
+        counters0 = len(tracer.counters) if tracer is not None else 0
+
+        def upload_trace() -> str | None:
+            if tracer is None:
+                return None
+            try:
+                records = [
+                    span.to_record() for span in tracer.spans[spans0:]
+                ] + [
+                    counter.to_record()
+                    for counter in tracer.counters[counters0:]
+                ]
+                return self.store.put_trace(records, tracer.wall_epoch)
+            except Exception:  # noqa: BLE001 - telemetry must not kill jobs
+                return None
 
         def cancel_poll() -> bool:
             return lease_lost.is_set() or self.queue.cancel_requested(
@@ -208,31 +243,51 @@ class Worker:
             label=job.name,
         )
         try:
-            with _obs.span(
-                "svc.job", "svc", job_id=job.job_id, method=job.method
-            ):
-                result = session.run(task)
-        except Exception as exc:  # noqa: BLE001 - reported, not fatal
-            self.queue.fail(
-                job.job_id,
-                self.worker_id,
-                f"engine raised {type(exc).__name__}: {exc}\n"
-                + traceback.format_exc(limit=5),
-            )
-            return
-        if lease_lost.is_set():
-            return  # the retry owns this job; our verdict is void
-        payload = result.to_dict(netlist)
-        if session.cancelled:
-            self.queue.complete(
-                job.job_id,
-                self.worker_id,
-                payload,
-                state=JobState.CANCELLED,
-                reason="cancelled by request",
-            )
-        else:
-            self.queue.complete(job.job_id, self.worker_id, payload)
+            try:
+                with _obs.span(
+                    "svc.job", "svc", job_id=job.job_id, method=job.method
+                ):
+                    result = session.run(task)
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                if _met.ENABLED:
+                    _met.WORKER_JOBS.labels("engine_error").inc()
+                self.queue.fail(
+                    job.job_id,
+                    self.worker_id,
+                    f"engine raised {type(exc).__name__}: {exc}\n"
+                    + traceback.format_exc(limit=5),
+                    trace_id=upload_trace(),
+                )
+                return
+            if lease_lost.is_set():
+                # the retry owns this job; our verdict is void
+                if _met.ENABLED:
+                    _met.WORKER_JOBS.labels("lease_lost").inc()
+                return
+            trace_id = upload_trace()
+            payload = result.to_dict(netlist)
+            if session.cancelled:
+                if _met.ENABLED:
+                    _met.WORKER_JOBS.labels("cancelled").inc()
+                self.queue.complete(
+                    job.job_id,
+                    self.worker_id,
+                    payload,
+                    state=JobState.CANCELLED,
+                    reason="cancelled by request",
+                    trace_id=trace_id,
+                )
+            else:
+                if _met.ENABLED:
+                    _met.WORKER_JOBS.labels("done").inc()
+                self.queue.complete(
+                    job.job_id, self.worker_id, payload, trace_id=trace_id
+                )
+        finally:
+            if owned_tracer:
+                from repro import obs as _obs_pkg
+
+                _obs_pkg.disable()
 
 
 def worker_main(
@@ -244,6 +299,7 @@ def worker_main(
     max_jobs: int | None = None,
     drain: bool = False,
     settle_seconds: float = 0.0,
+    trace_jobs: bool = False,
 ) -> int:
     """Process entry point: build a worker over ``store_path`` and run.
 
@@ -263,6 +319,7 @@ def worker_main(
         lease_seconds=lease_seconds,
         poll_interval=poll_interval,
         on_claim=on_claim,
+        trace_jobs=trace_jobs,
     )
     stop = None
     try:

@@ -461,3 +461,77 @@ class TestServiceCLI:
         assert payload["jobs"][0]["verdict"] == "proved"
         assert main(["jobs", "--store", store, "--state", "failed"]) == 0
         assert "no jobs" in capsys.readouterr().out
+
+
+class TestTelemetryCLI:
+    """``repro jobs --follow`` and ``repro top`` against a live server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        from repro.svc.server import VerificationServer
+
+        with VerificationServer(
+            tmp_path / "svc.sqlite",
+            workers=1,
+            worker_processes=False,
+            worker_poll=0.02,
+            sse_poll=0.02,
+            trace_jobs=True,
+        ) as server:
+            yield server
+
+    def _submit(self, server, netlist_text: str, method: str) -> int:
+        import json
+        import urllib.request
+
+        request = urllib.request.Request(
+            server.url + "/submit",
+            data=json.dumps(
+                {"netlist": netlist_text, "method": method}
+            ).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=15) as response:
+            return json.loads(response.read())["job_id"]
+
+    def test_jobs_follow_streams_to_verdict(self, server, capsys):
+        job_id = self._submit(
+            server, serialize_netlist(handshake(True)), "pdr"
+        )
+        code = main(
+            ["jobs", "--url", server.url, "--follow", str(job_id)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # proved
+        assert "submitted" in out
+        assert "job_finished" in out
+
+    def test_jobs_follow_failed_property_exit_one(self, server, capsys):
+        job_id = self._submit(
+            server, serialize_netlist(handshake(False)), "bmc"
+        )
+        code = main(
+            ["jobs", "--url", server.url, "--follow", str(job_id)]
+        )
+        assert code == 1
+        assert "job_finished" in capsys.readouterr().out
+
+    def test_follow_requires_url(self, tmp_path, capsys):
+        store = str(tmp_path / "svc.sqlite")
+        assert main(["jobs", "--store", store, "--follow", "1"]) == 2
+        assert "--url" in capsys.readouterr().err
+
+    def test_top_renders_dashboard(self, server, capsys):
+        job_id = self._submit(
+            server, serialize_netlist(handshake(True)), "pdr"
+        )
+        main(["jobs", "--url", server.url, "--follow", str(job_id)])
+        capsys.readouterr()
+        code = main(
+            ["top", "--url", server.url, "--iterations", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "queue depth" in out
+        assert "done=1" in out
+        assert "proved" in out

@@ -98,6 +98,42 @@ class TestStore:
         queue.record_event(1, "migrated", None)  # v2 table exists
         assert queue.events(1)[0]["kind"] == "migrated"
 
+    def test_migrates_v2_database_in_place(self, tmp_path):
+        # A v2 database (pre-traces) picks up the traces table and the
+        # trace_id/verdict job columns without touching existing rows.
+        path = tmp_path / "v2.sqlite"
+        conn = sqlite3.connect(path)
+        for level in MIGRATIONS[:2]:
+            for statement in level:
+                conn.execute(statement)
+        conn.execute(
+            "INSERT INTO jobs (netlist, method, submitted_at) "
+            "VALUES ('x', 'bmc', 1.0)"
+        )
+        conn.execute("PRAGMA user_version=2")
+        conn.commit()
+        conn.close()
+        upgraded = Store(path)
+        assert upgraded.schema_version == SCHEMA_VERSION
+        job = TaskQueue(upgraded).job(1)
+        assert job.trace_id is None and job.verdict is None
+        assert upgraded.count_traces() == 0
+
+    def test_traces_are_content_addressed(self, store):
+        records = [{"type": "counter", "name": "svc.queue_depth",
+                    "t": 0.5, "value": 3, "pid": 1}]
+        first = store.put_trace(records, wall_epoch=123.0)
+        second = store.put_trace(list(records), wall_epoch=123.0)
+        assert first == second
+        assert store.count_traces() == 1
+        doc = store.get_trace(first)
+        assert doc["schema"] == "repro.obs/1"
+        assert doc["wall_epoch"] == 123.0
+        assert doc["records"] == records
+        # Different content, different address.
+        assert store.put_trace(records, wall_epoch=124.0) != first
+        assert store.count_traces() == 2
+
     def test_refuses_a_newer_schema(self, tmp_path):
         path = tmp_path / "future.sqlite"
         conn = sqlite3.connect(path)
@@ -532,6 +568,41 @@ class TestServiceObservability:
         assert "svc.queue_depth" in counter_names
         assert "svc.active_leases" in counter_names
 
+    def test_metered_run_is_verdict_identical(self, tmp_path):
+        # Same contract for the metrics registry: instruments only read
+        # timestamps and add to private tallies, so verdicts are
+        # bit-identical with metrics on or off — and with them on, the
+        # queue tallies actually move.
+        from repro.obs import metrics
+
+        was = metrics.ENABLED
+        metrics.disable()
+        try:
+            plain, _ = self._run_service(tmp_path, "unmetered", traced=False)
+            metrics.enable()
+            metrics.REGISTRY.reset()
+            metered, _ = self._run_service(tmp_path, "metered", traced=False)
+            doc = metrics.REGISTRY.to_json()
+        finally:
+            metrics.disable()
+            metrics.REGISTRY.reset()
+            if was:
+                metrics.enable()
+        assert json.dumps(plain, sort_keys=True) == json.dumps(
+            metered, sort_keys=True
+        )
+        claimed = sum(
+            sample["value"]
+            for sample in doc["repro_jobs_claimed_total"]["samples"]
+        )
+        assert claimed == 2
+        run_hist = doc["repro_job_run_seconds"]["samples"]
+        assert sum(sample["count"] for sample in run_hist) == 2
+        assert sum(
+            sample["count"]
+            for sample in doc["repro_sat_solve_seconds"]["samples"]
+        ) > 0
+
 
 # ---------------------------------------------------------------------- #
 # HTTP front
@@ -617,3 +688,212 @@ class TestServer:
             body = json.loads(excinfo.value.read())
             assert body["retry_after"] > 0
             assert _get(base, "/healthz")["queue_depth"] == 1
+
+# ---------------------------------------------------------------------- #
+# Fleet telemetry: exposition formats, SSE streaming, persisted traces
+# ---------------------------------------------------------------------- #
+
+
+def _sse_collect(base: str, job_id: int, after: int = 0,
+                 timeout: float = 30.0):
+    """Consume one job's SSE stream until its ``end`` event.
+
+    Returns ``(frames, end)`` where frames are ``(seq, kind, data)``
+    triples in arrival order.
+    """
+    request = urllib.request.Request(
+        f"{base}/jobs/{job_id}/events?stream=1&after={after}",
+        headers={"Accept": "text/event-stream"},
+    )
+    frames, end, fields = [], None, {}
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        assert response.headers["Content-Type"].startswith(
+            "text/event-stream"
+        )
+        for raw in response:
+            line = raw.decode().rstrip("\r\n")
+            if line == "":
+                if "data" in fields:
+                    data = json.loads(fields["data"])
+                    if fields.get("event") == "end":
+                        end = data
+                        break
+                    frames.append(
+                        (int(fields["id"]), fields.get("event"), data)
+                    )
+                fields = {}
+                continue
+            if line.startswith(":"):
+                continue
+            key, _, value = line.partition(":")
+            fields[key] = value[1:] if value.startswith(" ") else value
+    return frames, end
+
+
+class TestTelemetryServer:
+    def _server(self, tmp_path, **kwargs):
+        options = dict(
+            workers=1,
+            worker_processes=False,
+            worker_poll=0.02,
+            lease_seconds=5.0,
+            sse_poll=0.02,
+        )
+        options.update(kwargs)
+        return VerificationServer(tmp_path / "svc.sqlite", **options)
+
+    def test_metrics_json_and_prometheus_agree(self, tmp_path):
+        with self._server(tmp_path) as server:
+            base = server.url
+            job_id = _post(
+                base, "/submit", {"netlist": safe_text(), "method": "pdr"}
+            )["job_id"]
+            assert _wait_for(
+                lambda: _get(base, f"/jobs/{job_id}")["state"] == "done"
+            )
+            doc = _get(base, "/metrics")
+            # Legacy gauges survive alongside the registry snapshot.
+            assert doc["jobs"]["done"] == 1
+            assert doc["queue_depth"] == 0
+            families = doc["metrics"]
+            assert families["repro_queue_depth"]["samples"][0]["value"] == 0
+            won = {
+                (s["labels"]["method"], s["labels"]["verdict"]): s["value"]
+                for s in families["repro_jobs_won_total"]["samples"]
+            }
+            assert won[("pdr", "proved")] == 1
+            # The Prometheus variant renders the same snapshot.
+            request = urllib.request.Request(
+                base + "/metrics", headers={"Accept": "text/plain"}
+            )
+            with urllib.request.urlopen(request, timeout=15) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                text = response.read().decode()
+            assert "# TYPE repro_jobs_won_total counter" in text
+            assert (
+                'repro_jobs_won_total{method="pdr",verdict="proved"} 1'
+                in text
+            )
+            assert "# TYPE repro_job_latency_seconds histogram" in text
+            # Every value line parses as name{labels} value.
+            for line in text.strip().splitlines():
+                if line.startswith("#"):
+                    continue
+                assert " " in line
+                name_part, value = line.rsplit(" ", 1)
+                assert name_part
+                float(value.replace("+Inf", "inf"))
+
+    def test_sse_stream_end_to_end_with_resume(self, tmp_path):
+        with self._server(tmp_path, trace_jobs=True) as server:
+            base = server.url
+            job_id = _post(
+                base, "/submit", {"netlist": safe_text(), "method": "bmc",
+                                  "max_depth": 5},
+            )["job_id"]
+            frames, end = _sse_collect(base, job_id, timeout=60.0)
+            kinds = [kind for _, kind, _ in frames]
+            assert kinds[0] == "submitted"
+            assert kinds[-1] == "job_finished"
+            seqs = [seq for seq, _, _ in frames]
+            assert seqs == list(range(1, len(seqs) + 1))  # no gaps
+            assert end["state"] == "done"
+            assert end["seq"] == seqs[-1]
+            assert end["trace_id"]
+            # Resume mid-stream: only events after the cursor replay.
+            resumed, resumed_end = _sse_collect(
+                base, job_id, after=seqs[1], timeout=30.0
+            )
+            assert [seq for seq, _, _ in resumed] == seqs[2:]
+            assert resumed_end["state"] == "done"
+            # The JSON snapshot stays available for non-streaming clients.
+            snapshot = _get(base, f"/jobs/{job_id}/events")["events"]
+            assert [e["seq"] for e in snapshot] == seqs
+
+    def test_job_trace_is_chrome_loadable(self, tmp_path):
+        with self._server(tmp_path, trace_jobs=True) as server:
+            base = server.url
+            job_id = _post(
+                base, "/submit", {"netlist": safe_text(), "method": "pdr"}
+            )["job_id"]
+            assert _wait_for(
+                lambda: _get(base, f"/jobs/{job_id}")["state"] == "done"
+            )
+            assert _get(base, f"/jobs/{job_id}")["trace_id"]
+            doc = _get(base, f"/jobs/{job_id}/trace")
+            assert doc["otherData"]["schema"] == "repro.obs/1"
+            assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+            span_names = {
+                event["name"]
+                for event in doc["traceEvents"]
+                if event.get("ph") == "X"
+            }
+            assert "svc.job" in span_names
+            for event in doc["traceEvents"]:
+                if event["ph"] == "X":
+                    assert {"ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_trace_404_without_trace_jobs(self, tmp_path):
+        with self._server(tmp_path, trace_jobs=False) as server:
+            base = server.url
+            job_id = _post(
+                base, "/submit", {"netlist": safe_text(), "method": "bmc",
+                                  "max_depth": 3},
+            )["job_id"]
+            assert _wait_for(
+                lambda: _get(base, f"/jobs/{job_id}")["state"] == "done"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(base, f"/jobs/{job_id}/trace")
+            assert excinfo.value.code == 404
+
+
+class TestSseDurability:
+    def test_stream_survives_worker_sigkill_and_requeue(self, tmp_path):
+        # A client mid-stream must ride through worker SIGKILL + lease
+        # expiry + requeue and still land on the terminal event, with
+        # no gaps in sequence ids — the log lives in the store, not in
+        # any worker.
+        import threading
+
+        store_path = str(tmp_path / "svc.sqlite")
+        store = Store(store_path)
+        queue = TaskQueue(store, lease_seconds=0.4)
+        job_id = queue.submit(safe_text(), method="pdr", name="victim")
+        server = VerificationServer(
+            store_path, workers=0, sse_poll=0.02
+        )
+        with server:
+            base = server.url
+            box = {}
+
+            def client() -> None:
+                box["frames"], box["end"] = _sse_collect(
+                    base, job_id, timeout=60.0
+                )
+
+            listener = threading.Thread(target=client, daemon=True)
+            listener.start()
+            doomed = _start_stalling_worker(store_path)
+            try:
+                assert _wait_for(
+                    lambda: queue.job(job_id).state is JobState.RUNNING
+                )
+                os.kill(doomed.pid, signal.SIGKILL)
+            finally:
+                doomed.join(timeout=5.0)
+            time.sleep(0.5)  # lease lapses while the client is streaming
+            assert queue.requeue_expired() == [(job_id, "requeued")]
+            Worker(store, worker_id="survivor").run(drain=True)
+            listener.join(timeout=30.0)
+            assert not listener.is_alive(), "stream never terminated"
+        frames, end = box["frames"], box["end"]
+        kinds = [kind for _, kind, _ in frames]
+        assert "requeued" in kinds
+        assert kinds.count("claimed") == 2  # doomed + survivor
+        assert kinds[-1] == "job_finished"
+        seqs = [seq for seq, _, _ in frames]
+        assert seqs == list(range(1, len(seqs) + 1))  # contiguous
+        assert end["state"] == "done" and end["verdict"] == "proved"
